@@ -1,0 +1,92 @@
+package cyclicwin_test
+
+import (
+	"fmt"
+
+	"cyclicwin"
+)
+
+// Two threads share one register-window file under the SP scheme; the
+// consumer's windows stay resident while the producer runs, so their
+// context switches transfer nothing.
+func Example() {
+	m := cyclicwin.NewMachine(cyclicwin.SP, 8)
+	pipe := m.NewStream("pipe", 1)
+
+	m.Spawn("producer", func(e *cyclicwin.Env) {
+		for i := uint32(1); i <= 3; i++ {
+			e.Call(func(e *cyclicwin.Env) { e.SetRet(e.Arg(0) * 10) }, i)
+			pipe.Put(e, byte(e.Ret()))
+		}
+		pipe.Close(e)
+	})
+	m.Spawn("consumer", func(e *cyclicwin.Env) {
+		for {
+			b, ok := pipe.Get(e)
+			if !ok {
+				return
+			}
+			fmt.Println(b)
+		}
+	})
+	m.Run()
+	fmt.Println("procedure calls through the windows:", m.Counters().Saves)
+	// Output:
+	// 10
+	// 20
+	// 30
+	// procedure calls through the windows: 3
+}
+
+// A recursive procedure runs deeper than the window file; the trap
+// handlers spill and refill windows transparently and the computation
+// is exact.
+func ExampleMachine_recursion() {
+	m := cyclicwin.NewMachine(cyclicwin.SNP, 4)
+	var sum func(e *cyclicwin.Env)
+	sum = func(e *cyclicwin.Env) {
+		n := e.Arg(0)
+		if n == 0 {
+			e.SetRet(0)
+			return
+		}
+		e.Call(sum, n-1)
+		e.SetRet(n + e.Ret())
+	}
+	m.Spawn("gauss", func(e *cyclicwin.Env) {
+		e.Call(sum, 100)
+		fmt.Println("sum(1..100) =", e.Ret())
+	})
+	m.Run()
+	c := m.Counters()
+	fmt.Println("overflow traps:", c.OverflowTraps > 0, "underflow traps:", c.UnderflowTraps > 0)
+	// Output:
+	// sum(1..100) = 5050
+	// overflow traps: true underflow traps: true
+}
+
+// Machine code runs on the same window managers through the assembler.
+func ExampleAssemble() {
+	prog, err := cyclicwin.Assemble(`
+start:
+	mov 6, %o0
+	call double
+	ta 0
+double:
+	save %sp, -96, %sp
+	add %i0, %i0, %i0
+	restore
+	ret
+`, 0x1000)
+	if err != nil {
+		panic(err)
+	}
+	m := cyclicwin.NewMachine(cyclicwin.SP, 8)
+	cpu, err := m.RunProgram(prog, "start", 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("result register o0 =", cpu.Reg(8))
+	// Output:
+	// result register o0 = 12
+}

@@ -1,0 +1,105 @@
+// Asmdemo runs machine code on the simulated processor: a recursive
+// Fibonacci in SPARC-subset assembly whose call chain is far deeper than
+// the window file, under each management scheme, and then two assembly
+// threads cooperating through a memory mailbox while sharing the window
+// file under SP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cyclicwin"
+)
+
+const fibSrc = `
+start:
+	mov 18, %o0
+	call fib
+	ta 0
+
+fib:
+	save %sp, -96, %sp
+	cmp %i0, 2
+	bl done
+	sub %i0, 1, %o0
+	call fib
+	mov %o0, %l0
+	sub %i0, 2, %o0
+	call fib
+	add %l0, %o0, %i0
+done:
+	restore
+	ret
+`
+
+const pingSrc = `
+start:
+	set 0x4000, %l0
+	clr %l1
+loop:
+	inc %l1
+	st %l1, [%l0]
+	mov 'p', %o0
+	ta 2
+	yield
+	cmp %l1, 3
+	bl loop
+	ta 0
+`
+
+const pongSrc = `
+start:
+	set 0x4000, %l0
+loop:
+	ld [%l0], %l1
+	mov 'q', %o0
+	ta 2
+	yield
+	cmp %l1, 3
+	bl loop
+	ta 0
+`
+
+func main() {
+	prog, err := cyclicwin.Assemble(fibSrc, 0x1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fib(18) in assembly, recursion depth 18 through the window file:")
+	fmt.Printf("%-6s %8s %10s %10s %12s %12s\n",
+		"scheme", "windows", "result", "cycles", "ovf traps", "unf traps")
+	for _, scheme := range cyclicwin.Schemes {
+		for _, windows := range []int{4, 8} {
+			m := cyclicwin.NewMachine(scheme, windows)
+			cpu, err := m.RunProgram(prog, "start", 50_000_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c := m.Counters()
+			fmt.Printf("%-6v %8d %10d %10d %12d %12d\n",
+				scheme, windows, cpu.Reg(8), m.Cycles(), c.OverflowTraps, c.UnderflowTraps)
+		}
+	}
+
+	fmt.Println("\ntwo assembly threads sharing windows under SP:")
+	m := cyclicwin.NewMachine(cyclicwin.SP, 16)
+	ping, err := cyclicwin.Assemble(pingSrc, 0x1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pong, err := cyclicwin.Assemble(pongSrc, 0x2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.LoadProgram(ping)
+	m.LoadProgram(pong)
+	var console []byte
+	m.SpawnProgram("ping", ping.Entry("start"), 0x700000, &console)
+	m.SpawnProgram("pong", pong.Entry("start"), 0x780000, &console)
+	m.Run()
+	c := m.Counters()
+	fmt.Printf("console: %s\n", console)
+	fmt.Printf("switches: %d, of which %d moved no window (windows stayed resident)\n",
+		c.Switches, c.ZeroTransferSwitches)
+}

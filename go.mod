@@ -1,0 +1,3 @@
+module cyclicwin
+
+go 1.22

@@ -1,0 +1,128 @@
+package cyclicwin_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cyclicwin"
+	"cyclicwin/internal/corpus"
+)
+
+// TestEverythingOnOneFile is the grand integration test: the seven-thread
+// spell pipeline, a Go guest computing Fibonacci through deep recursion,
+// and a machine-code thread yielding in a loop all share one register
+// window file under every scheme and both scheduling policies. The spell
+// output must match the single-threaded reference, the computations must
+// be exact, and the run must terminate.
+func TestEverythingOnOneFile(t *testing.T) {
+	src := corpus.ScaledDraft(3000)
+	mainDict := corpus.ScaledMainDict(4001)
+	forbidden := corpus.ScaledForbiddenDict(4001)
+	want := cyclicwin.SpellCheckText(src, mainDict, forbidden)
+	if len(want) == 0 {
+		t.Fatal("reference found nothing")
+	}
+
+	asmProg, err := cyclicwin.Assemble(`
+start:
+	clr %l0
+loop:
+	inc %l0
+	mov 'x', %o0
+	ta 2
+	yield
+	cmp %l0, 5
+	bl loop
+	ta 0
+`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, scheme := range cyclicwin.Schemes {
+		for _, policy := range []cyclicwin.Policy{cyclicwin.FIFO, cyclicwin.WorkingSet} {
+			for _, windows := range []int{5, 8, 20} {
+				name := fmt.Sprintf("%v/%v/w%d", scheme, policy, windows)
+				t.Run(name, func(t *testing.T) {
+					m := cyclicwin.NewMachineOptions(scheme, windows,
+						cyclicwin.Options{Policy: policy, TraceLimit: 32})
+					p := m.NewSpellPipeline(cyclicwin.SpellConfig{
+						M: 2, N: 2,
+						Source: src, MainDict: mainDict, ForbiddenDict: forbidden,
+					})
+
+					var fibResult uint32
+					var fib func(e *cyclicwin.Env)
+					fib = func(e *cyclicwin.Env) {
+						n := e.Arg(0)
+						if n < 2 {
+							e.SetRet(n)
+							return
+						}
+						e.Call(fib, n-1)
+						e.SetLocal(0, e.Ret())
+						e.Call(fib, n-2)
+						e.SetRet(e.Local(0) + e.Ret())
+					}
+					m.Spawn("fib", func(e *cyclicwin.Env) {
+						e.Call(fib, 14)
+						fibResult = e.Ret()
+					})
+
+					m.LoadProgram(asmProg)
+					var console []byte
+					m.SpawnProgram("asm", asmProg.Entry("start"), 0x700000, &console)
+
+					m.Run()
+
+					if got := p.Misspelled(); !reflect.DeepEqual(got, want) {
+						t.Errorf("spell output diverged: got %d words, want %d", len(got), len(want))
+					}
+					if fibResult != 377 {
+						t.Errorf("fib(14) = %d, want 377", fibResult)
+					}
+					if string(console) != "xxxxx" {
+						t.Errorf("asm console = %q, want xxxxx", console)
+					}
+					if m.Trace().Total() == 0 {
+						t.Error("trace recorded nothing")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestOutputIndependentOfEverything pins the strongest correctness
+// property at facade level: the spell report is byte-identical across
+// schemes, window counts, policies, trap transfer depths and the
+// hardware-assist model.
+func TestOutputIndependentOfEverything(t *testing.T) {
+	src := corpus.ScaledDraft(2500)
+	mainDict := corpus.ScaledMainDict(3001)
+	forbidden := corpus.ScaledForbiddenDict(3001)
+	want := cyclicwin.SpellCheckText(src, mainDict, forbidden)
+
+	configs := []cyclicwin.Options{
+		{},
+		{Policy: cyclicwin.WorkingSet},
+		{TrapTransfer: 3},
+		{HWAssist: true},
+		{SearchAlloc: true},
+		{Policy: cyclicwin.WorkingSet, TrapTransfer: 2, HWAssist: true, SearchAlloc: true},
+	}
+	for _, scheme := range cyclicwin.Schemes {
+		for i, o := range configs {
+			m := cyclicwin.NewMachineOptions(scheme, 6, o)
+			p := m.NewSpellPipeline(cyclicwin.SpellConfig{
+				M: 3, N: 1,
+				Source: src, MainDict: mainDict, ForbiddenDict: forbidden,
+			})
+			m.Run()
+			if got := p.Misspelled(); !reflect.DeepEqual(got, want) {
+				t.Errorf("%v config %d: output diverged (%d vs %d words)", scheme, i, len(got), len(want))
+			}
+		}
+	}
+}

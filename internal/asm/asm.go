@@ -1,0 +1,306 @@
+// Package asm is a two-pass assembler (and disassembler) for the isa
+// package's SPARC-style subset: labels, the usual register names,
+// %hi()/%lo() relocation operators, the common synthetic instructions,
+// and .word/.space directives. The syntax follows SPARC assembly with
+// "!" comments.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cyclicwin/internal/mem"
+)
+
+// Program is an assembled unit.
+type Program struct {
+	Origin uint32
+	Words  []uint32
+	Labels map[string]uint32
+}
+
+// Size returns the program size in bytes.
+func (p *Program) Size() uint32 { return uint32(len(p.Words) * 4) }
+
+// Load copies the program image into memory at its origin.
+func (p *Program) Load(m *mem.Memory) {
+	for i, w := range p.Words {
+		m.Store32(p.Origin+uint32(4*i), w)
+	}
+}
+
+// Entry returns the address of the label, or the origin if absent.
+func (p *Program) Entry(label string) uint32 {
+	if a, ok := p.Labels[label]; ok {
+		return a
+	}
+	return p.Origin
+}
+
+// Assemble translates src, placing the first instruction at origin.
+func Assemble(src string, origin uint32) (*Program, error) {
+	a := &assembler{origin: origin, labels: map[string]uint32{}}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: sizes and label addresses.
+	addr := origin
+	for ln, raw := range lines {
+		stmts, err := a.parseLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		for _, st := range stmts {
+			if st.label != "" {
+				if _, dup := a.labels[st.label]; dup {
+					return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, st.label)
+				}
+				a.labels[st.label] = addr
+			}
+			n, err := a.sizeOf(st)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			addr += n
+		}
+	}
+
+	// Pass 2: encode.
+	p := &Program{Origin: origin, Labels: a.labels}
+	addr = origin
+	for ln, raw := range lines {
+		stmts, _ := a.parseLine(raw)
+		for _, st := range stmts {
+			words, err := a.encode(st, addr)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			p.Words = append(p.Words, words...)
+			addr += uint32(4 * len(words))
+		}
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for program literals in tests and examples.
+func MustAssemble(src string, origin uint32) *Program {
+	p, err := Assemble(src, origin)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type stmt struct {
+	label string
+	op    string
+	args  []string
+}
+
+type assembler struct {
+	origin uint32
+	labels map[string]uint32
+}
+
+// parseLine splits "label: op a, b, c ! comment" into statements.
+func (a *assembler) parseLine(raw string) ([]stmt, error) {
+	if i := strings.IndexAny(raw, "!"); i >= 0 {
+		raw = raw[:i]
+	}
+	if i := strings.Index(raw, "//"); i >= 0 {
+		raw = raw[:i]
+	}
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return nil, nil
+	}
+	var out []stmt
+	for {
+		i := strings.Index(raw, ":")
+		// A colon inside brackets or operands is not a label separator;
+		// labels must come first and be identifiers.
+		if i < 0 || !isIdent(strings.TrimSpace(raw[:i])) {
+			break
+		}
+		out = append(out, stmt{label: strings.TrimSpace(raw[:i])})
+		raw = strings.TrimSpace(raw[i+1:])
+		if raw == "" {
+			return out, nil
+		}
+	}
+	fields := strings.SplitN(raw, " ", 2)
+	st := stmt{op: strings.ToLower(strings.TrimSpace(fields[0]))}
+	if len(fields) == 2 {
+		for _, arg := range splitArgs(fields[1]) {
+			st.args = append(st.args, strings.TrimSpace(arg))
+		}
+	}
+	// Merge a trailing bare statement label list: attach op to the last
+	// label statement if any.
+	if len(out) > 0 && st.op != "" {
+		out[len(out)-1].op = st.op
+		out[len(out)-1].args = st.args
+		return out, nil
+	}
+	return append(out, st), nil
+}
+
+// splitArgs splits on commas not inside brackets or parentheses.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	last := 0
+	for i, r := range s {
+		switch r {
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	return append(out, s[last:])
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sizeOf returns the statement's size in bytes.
+func (a *assembler) sizeOf(st stmt) (uint32, error) {
+	switch st.op {
+	case "":
+		return 0, nil
+	case "set":
+		return 8, nil // sethi + or
+	case ".word":
+		return uint32(4 * len(st.args)), nil
+	case ".space":
+		if len(st.args) != 1 {
+			return 0, fmt.Errorf(".space needs one operand")
+		}
+		n, err := a.number(st.args[0])
+		if err != nil || n < 0 || n%4 != 0 || n > 1<<20 {
+			return 0, fmt.Errorf(".space needs a small non-negative multiple of 4, got %q", st.args[0])
+		}
+		return uint32(n), nil
+	default:
+		return 4, nil
+	}
+}
+
+var regNames = func() map[string]int {
+	m := map[string]int{"%sp": 14, "%fp": 30}
+	for i := 0; i < 8; i++ {
+		m[fmt.Sprintf("%%g%d", i)] = i
+		m[fmt.Sprintf("%%o%d", i)] = 8 + i
+		m[fmt.Sprintf("%%l%d", i)] = 16 + i
+		m[fmt.Sprintf("%%i%d", i)] = 24 + i
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("%%r%d", i)] = i
+	}
+	return m
+}()
+
+func (a *assembler) reg(s string) (int, error) {
+	if r, ok := regNames[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+// number evaluates an integer, label, or %hi()/%lo() expression.
+func (a *assembler) number(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")"):
+		v, err := a.number(s[4 : len(s)-1])
+		return (v >> 10) & 0x3fffff, err
+	case strings.HasPrefix(s, "%lo(") && strings.HasSuffix(s, ")"):
+		v, err := a.number(s[4 : len(s)-1])
+		return v & 0x3ff, err
+	}
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if addr, ok := a.labels[s]; ok {
+		return int64(addr), nil
+	}
+	return 0, fmt.Errorf("cannot evaluate %q", s)
+}
+
+// regOrImm parses the flexible second operand of format-3 instructions.
+func (a *assembler) regOrImm(s string) (isReg bool, reg int, imm int32, err error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "%") && !strings.HasPrefix(s, "%hi") && !strings.HasPrefix(s, "%lo") {
+		r, err := a.reg(s)
+		return true, r, 0, err
+	}
+	v, err := a.number(s)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if v < -4096 || v > 4095 {
+		return false, 0, 0, fmt.Errorf("immediate %d does not fit in simm13", v)
+	}
+	return false, 0, int32(v), nil
+}
+
+// address parses "[%reg]", "[%reg + off]", "[%reg - off]" or
+// "[%reg1 + %reg2]".
+func (a *assembler) address(s string) (rs1 int, isReg bool, rs2 int, imm int32, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, false, 0, 0, fmt.Errorf("expected [address], got %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	var rest string
+	neg := false
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		neg = inner[i] == '-'
+		rest = strings.TrimSpace(inner[i+1:])
+		inner = strings.TrimSpace(inner[:i])
+	}
+	rs1, err = a.reg(inner)
+	if err != nil {
+		return
+	}
+	if rest == "" {
+		return rs1, false, 0, 0, nil
+	}
+	if strings.HasPrefix(rest, "%") {
+		if neg {
+			return 0, false, 0, 0, fmt.Errorf("cannot subtract a register in an address")
+		}
+		rs2, err = a.reg(rest)
+		return rs1, true, rs2, 0, err
+	}
+	v, err := a.number(rest)
+	if err != nil {
+		return 0, false, 0, 0, err
+	}
+	if neg {
+		v = -v
+	}
+	if v < -4096 || v > 4095 {
+		return 0, false, 0, 0, fmt.Errorf("address offset %d does not fit in simm13", v)
+	}
+	return rs1, false, 0, int32(v), nil
+}

@@ -1,0 +1,309 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/isa"
+	"cyclicwin/internal/sched"
+)
+
+const org = 0x1000
+
+func run(t *testing.T, s core.Scheme, windows int, src string, limit uint64) *isa.CPU {
+	t.Helper()
+	p, err := Assemble(src, org)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := isa.NewMachine(s, windows)
+	p.Load(m.Mem)
+	cpu, err := m.RunProgram(p.Entry("start"), limit)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu
+}
+
+func TestAssembleBasic(t *testing.T) {
+	cpu := run(t, core.SchemeSP, 8, `
+start:
+	mov 40, %o0
+	add %o0, 2, %o0
+	ta 0
+`, 100)
+	if got := cpu.Reg(8); got != 42 {
+		t.Errorf("%%o0 = %d, want 42", got)
+	}
+}
+
+func TestSyntheticsAndComments(t *testing.T) {
+	cpu := run(t, core.SchemeSP, 8, `
+start:
+	clr %o0          ! comment
+	inc %o0          // another comment
+	inc %o0
+	dec %o0
+	nop
+	mov %o0, %o1
+	set 0x12345678, %o2
+	cmp %o1, 1
+	be ok
+	clr %o1
+ok:	ta 0
+`, 100)
+	if got := cpu.Reg(9); got != 1 {
+		t.Errorf("%%o1 = %d, want 1 (be not taken?)", got)
+	}
+	if got := cpu.Reg(10); got != 0x12345678 {
+		t.Errorf("set produced %#x", got)
+	}
+}
+
+func TestSethiHiLo(t *testing.T) {
+	cpu := run(t, core.SchemeSNP, 8, `
+start:
+	sethi %hi(0xdeadbeef), %o0
+	or %o0, %lo(0xdeadbeef), %o0
+	ta 0
+`, 100)
+	if got := cpu.Reg(8); got != 0xdeadbeef {
+		t.Errorf("hi/lo = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestLoadsStoresWithLabels(t *testing.T) {
+	cpu := run(t, core.SchemeSP, 8, `
+start:
+	set value, %o0
+	ld [%o0], %o1
+	add %o1, 1, %o1
+	st %o1, [%o0 + 4]
+	ldub [%o0 + 3], %o2
+	ta 0
+value:
+	.word 0x01020304
+	.word 0
+`, 100)
+	if got := cpu.Reg(9); got != 0x01020305 {
+		t.Errorf("loaded+1 = %#x", got)
+	}
+	if got := cpu.Reg(10); got != 4 {
+		t.Errorf("ldub byte = %d, want 4", got)
+	}
+}
+
+const fibSrc = `
+start:
+	mov %N%, %o0
+	call fib
+	ta 0
+
+fib:
+	save %sp, -96, %sp
+	cmp %i0, 2
+	bl done
+	sub %i0, 1, %o0
+	call fib
+	mov %o0, %l0
+	sub %i0, 2, %o0
+	call fib
+	add %l0, %o0, %i0
+done:
+	restore
+	ret
+`
+
+// TestFibAssemblyAllSchemes runs the canonical recursive program at
+// machine-code level under every scheme and several window counts; the
+// recursion is far deeper than the file, so both trap handlers run
+// constantly.
+func TestFibAssemblyAllSchemes(t *testing.T) {
+	src := strings.ReplaceAll(fibSrc, "%N%", "15")
+	for _, s := range core.Schemes {
+		for _, n := range []int{2, 4, 8, 32} {
+			t.Run(fmt.Sprintf("%v/windows=%d", s, n), func(t *testing.T) {
+				cpu := run(t, s, n, src, 2_000_000)
+				if got := cpu.Reg(8); got != 610 {
+					t.Errorf("fib(15) = %d, want 610", got)
+				}
+			})
+		}
+	}
+}
+
+// TestFibAssemblySaveCountInvariant pins the Table 1 invariant at
+// machine-code level.
+func TestFibAssemblySaveCountInvariant(t *testing.T) {
+	src := strings.ReplaceAll(fibSrc, "%N%", "12")
+	var want uint64
+	for i, s := range core.Schemes {
+		p := MustAssemble(src, org)
+		m := isa.NewMachine(s, 5)
+		p.Load(m.Mem)
+		if _, err := m.RunProgram(p.Entry("start"), 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		saves := m.Mgr.Counters().Saves
+		if i == 0 {
+			want = saves
+			continue
+		}
+		if saves != want {
+			t.Errorf("%v executed %d saves, want %d", s, saves, want)
+		}
+	}
+}
+
+// TestTwoAsmThreadsShareWindows runs two machine-code threads under the
+// SP scheme: a producer writes a counter to a memory mailbox and yields;
+// a consumer accumulates it. Both keep windows resident across yields,
+// so after warm-up the switches are the zero-transfer best case.
+func TestTwoAsmThreadsShareWindows(t *testing.T) {
+	producer := MustAssemble(`
+start:
+	set 0x4000, %l0      ! mailbox
+	clr %l1
+loop:
+	inc %l1
+	st %l1, [%l0]
+	yield
+	cmp %l1, 10
+	bl loop
+	ta 0
+`, 0x1000)
+	consumer := MustAssemble(`
+start:
+	set 0x4000, %l0
+	clr %l2
+loop:
+	ld [%l0], %l1
+	add %l2, %l1, %l2
+	st %l2, [%l0 + 4]
+	yield
+	cmp %l1, 10
+	bl loop
+	ta 0
+`, 0x2000)
+
+	m := isa.NewMachine(core.SchemeSP, 16)
+	producer.Load(m.Mem)
+	consumer.Load(m.Mem)
+	k := sched.NewKernel(m.Mgr, sched.FIFO)
+	k.Spawn("producer", isa.ThreadBody(m.Mgr, m.Mem, producer.Entry("start"), 0x700000, 1_000_000, nil))
+	k.Spawn("consumer", isa.ThreadBody(m.Mgr, m.Mem, consumer.Entry("start"), 0x780000, 1_000_000, nil))
+	k.Run()
+
+	if got := m.Mem.Load32(0x4004); got != 55 {
+		t.Errorf("accumulated sum = %d, want 55", got)
+	}
+	c := m.Mgr.Counters()
+	if c.ZeroTransferSwitches < c.Switches/2 {
+		t.Errorf("only %d of %d switches were zero-transfer under SP", c.ZeroTransferSwitches, c.Switches)
+	}
+}
+
+// TestConsoleProgram checks the putc trap and character literals.
+func TestConsoleProgram(t *testing.T) {
+	p := MustAssemble(`
+start:
+	mov 'h', %o0
+	ta 2
+	mov 'i', %o0
+	ta 2
+	ta 0
+`, org)
+	m := isa.NewMachine(core.SchemeNS, 8)
+	p.Load(m.Mem)
+	cpu, err := m.RunProgram(p.Entry("start"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.Console.String(); got != "hi" {
+		t.Errorf("console = %q", got)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"\tfrobnicate %o0, %o1, %o2",
+		"\tadd %o0, %o1",
+		"\tadd %o9, %o1, %o2",
+		"\tmov 100000, %o0",
+		"\tld %o0, %o1",
+		"\tba nowhere",
+		"dup: nop\ndup: nop",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, org); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+start:
+	save %sp, -96, %sp
+	mov 5, %o0
+	cmp %o0, 2
+	bge start
+	ld [%fp - 4], %l3
+	st %l3, [%fp + 8]
+	call start
+	sethi 0x1234, %g1
+	smul %o0, %o1, %o2
+	restore
+	ret
+	ta 0
+`
+	p := MustAssemble(src, org)
+	wantFragments := []string{"save", "or %g0, 5, %o0", "subcc", "bge", "ld [", "st %l3", "call", "sethi", "smul", "restore", "jmpl", "ta"}
+	var sb strings.Builder
+	for i, w := range p.Words {
+		sb.WriteString(Disassemble(w, p.Origin+uint32(4*i)))
+		sb.WriteByte('\n')
+	}
+	text := sb.String()
+	for _, frag := range wantFragments {
+		if !strings.Contains(text, frag) {
+			t.Errorf("disassembly lacks %q:\n%s", frag, text)
+		}
+	}
+}
+
+// TestEncodeDecodeDisasmProperty: any encodable arithmetic instruction
+// decodes back to its fields.
+func TestEncodeDecodeDisasmProperty(t *testing.T) {
+	prop := func(rd, rs1, rs2 uint8) bool {
+		w := isa.EncodeArith(isa.Op3Xor, int(rd%32), int(rs1%32), int(rs2%32))
+		in := isa.Decode(w)
+		return in.Rd == int(rd%32) && in.Rs1 == int(rs1%32) && in.Rs2 == int(rs2%32) && !in.Imm
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramEntryAndSize(t *testing.T) {
+	p := MustAssemble("start:\n\tnop\nend:\n\tta 0\n", org)
+	if p.Entry("end") != org+4 {
+		t.Errorf("Entry(end) = %#x", p.Entry("end"))
+	}
+	if p.Entry("missing") != org {
+		t.Errorf("Entry(missing) = %#x, want origin", p.Entry("missing"))
+	}
+	if p.Size() != 8 {
+		t.Errorf("Size = %d", p.Size())
+	}
+}
+
+func TestSpaceDirective(t *testing.T) {
+	p := MustAssemble("start:\n\tnop\nbuf:\n\t.space 16\nafter:\n\tta 0\n", org)
+	if p.Labels["after"]-p.Labels["buf"] != 16 {
+		t.Errorf("space occupied %d bytes", p.Labels["after"]-p.Labels["buf"])
+	}
+}

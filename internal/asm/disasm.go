@@ -1,0 +1,85 @@
+package asm
+
+import (
+	"fmt"
+
+	"cyclicwin/internal/isa"
+)
+
+var regShort = func() [32]string {
+	var out [32]string
+	for i := 0; i < 8; i++ {
+		out[i] = fmt.Sprintf("%%g%d", i)
+		out[8+i] = fmt.Sprintf("%%o%d", i)
+		out[16+i] = fmt.Sprintf("%%l%d", i)
+		out[24+i] = fmt.Sprintf("%%i%d", i)
+	}
+	return out
+}()
+
+var arithNames = map[int]string{
+	isa.Op3Add: "add", isa.Op3AddCC: "addcc", isa.Op3Sub: "sub", isa.Op3SubCC: "subcc",
+	isa.Op3AddX: "addx", isa.Op3AddXCC: "addxcc", isa.Op3SubX: "subx", isa.Op3SubXCC: "subxcc",
+	isa.Op3And: "and", isa.Op3AndCC: "andcc", isa.Op3Or: "or", isa.Op3OrCC: "orcc",
+	isa.Op3Xor: "xor", isa.Op3XorCC: "xorcc", isa.Op3SMul: "smul", isa.Op3SDiv: "sdiv",
+	isa.Op3Sll: "sll", isa.Op3Srl: "srl", isa.Op3Sra: "sra",
+	isa.Op3Save: "save", isa.Op3Restore: "restore",
+}
+
+var condNames = map[int]string{
+	isa.CondA: "ba", isa.CondN: "bn", isa.CondE: "be", isa.CondNE: "bne",
+	isa.CondG: "bg", isa.CondLE: "ble", isa.CondGE: "bge", isa.CondL: "bl",
+	isa.CondGU: "bgu", isa.CondLEU: "bleu", isa.CondCC: "bcc", isa.CondCS: "bcs",
+	isa.CondPos: "bpos", isa.CondNeg: "bneg", isa.CondVC: "bvc", isa.CondVS: "bvs",
+}
+
+var loadNames = map[int]string{
+	isa.Op3Ld: "ld", isa.Op3Ldub: "ldub", isa.Op3Ldsb: "ldsb",
+	isa.Op3Lduh: "lduh", isa.Op3Ldsh: "ldsh",
+}
+var storeNames = map[int]string{isa.Op3St: "st", isa.Op3Stb: "stb", isa.Op3Sth: "sth"}
+
+// Disassemble renders the instruction word at addr as assembly text.
+func Disassemble(w uint32, addr uint32) string {
+	in := isa.Decode(w)
+	op2 := func() string {
+		if in.Imm {
+			return fmt.Sprintf("%d", in.Simm13)
+		}
+		return regShort[in.Rs2]
+	}
+	switch in.Op {
+	case 1:
+		return fmt.Sprintf("call 0x%x", int64(addr)+int64(in.Disp)*4)
+	case 0:
+		if in.Op2 == 4 {
+			if w == isa.EncodeSethi(0, 0) {
+				return "nop"
+			}
+			return fmt.Sprintf("sethi 0x%x, %s", in.Imm22, regShort[in.Rd])
+		}
+		name, ok := condNames[in.Cond]
+		if !ok {
+			return fmt.Sprintf(".word 0x%08x", w)
+		}
+		return fmt.Sprintf("%s 0x%x", name, int64(addr)+int64(in.Disp)*4)
+	case 2:
+		if in.Op3 == isa.Op3Jmpl {
+			return fmt.Sprintf("jmpl %s + %s, %s", regShort[in.Rs1], op2(), regShort[in.Rd])
+		}
+		if in.Op3 == isa.Op3Ticc {
+			return fmt.Sprintf("ta %s", op2())
+		}
+		if name, ok := arithNames[in.Op3]; ok {
+			return fmt.Sprintf("%s %s, %s, %s", name, regShort[in.Rs1], op2(), regShort[in.Rd])
+		}
+	case 3:
+		if name, ok := loadNames[in.Op3]; ok {
+			return fmt.Sprintf("%s [%s + %s], %s", name, regShort[in.Rs1], op2(), regShort[in.Rd])
+		}
+		if name, ok := storeNames[in.Op3]; ok {
+			return fmt.Sprintf("%s %s, [%s + %s]", name, regShort[in.Rd], regShort[in.Rs1], op2())
+		}
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}

@@ -1,0 +1,371 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"cyclicwin/internal/isa"
+)
+
+// op3 lookup for the three-operand arithmetic mnemonics.
+var arithOps = map[string]int{
+	"add": isa.Op3Add, "addcc": isa.Op3AddCC,
+	"sub": isa.Op3Sub, "subcc": isa.Op3SubCC,
+	"addx": isa.Op3AddX, "addxcc": isa.Op3AddXCC,
+	"subx": isa.Op3SubX, "subxcc": isa.Op3SubXCC,
+	"and": isa.Op3And, "andcc": isa.Op3AndCC,
+	"or": isa.Op3Or, "orcc": isa.Op3OrCC,
+	"xor": isa.Op3Xor, "xorcc": isa.Op3XorCC,
+	"smul": isa.Op3SMul, "sdiv": isa.Op3SDiv,
+	"sll": isa.Op3Sll, "srl": isa.Op3Srl, "sra": isa.Op3Sra,
+	"save": isa.Op3Save, "restore": isa.Op3Restore,
+}
+
+var branchConds = map[string]int{
+	"ba": isa.CondA, "b": isa.CondA, "bn": isa.CondN,
+	"be": isa.CondE, "bz": isa.CondE, "bne": isa.CondNE, "bnz": isa.CondNE,
+	"bg": isa.CondG, "ble": isa.CondLE, "bge": isa.CondGE, "bl": isa.CondL,
+	"bgu": isa.CondGU, "bleu": isa.CondLEU,
+	"bcc": isa.CondCC, "bgeu": isa.CondCC, "bcs": isa.CondCS, "blu": isa.CondCS,
+	"bpos": isa.CondPos, "bneg": isa.CondNeg, "bvc": isa.CondVC, "bvs": isa.CondVS,
+}
+
+var loadOps = map[string]int{
+	"ld": isa.Op3Ld, "ldub": isa.Op3Ldub, "ldsb": isa.Op3Ldsb,
+	"lduh": isa.Op3Lduh, "ldsh": isa.Op3Ldsh,
+}
+
+var storeOps = map[string]int{
+	"st": isa.Op3St, "stb": isa.Op3Stb, "sth": isa.Op3Sth,
+}
+
+// encode emits the instruction words for one statement at addr.
+func (a *assembler) encode(st stmt, addr uint32) ([]uint32, error) {
+	args := st.args
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", st.op, n, len(args))
+		}
+		return nil
+	}
+
+	switch {
+	case st.op == "":
+		return nil, nil
+
+	case st.op == ".word":
+		var out []uint32
+		for _, arg := range args {
+			v, err := a.number(arg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, uint32(v))
+		}
+		return out, nil
+
+	case st.op == ".space":
+		n, _ := a.number(args[0])
+		return make([]uint32, n/4), nil
+
+	case arithOps[st.op] != 0 || st.op == "add":
+		op3 := arithOps[st.op]
+		if st.op == "restore" && len(args) == 0 {
+			return []uint32{isa.EncodeArith(op3, 0, 0, 0)}, nil
+		}
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[2])
+		if err != nil {
+			return nil, err
+		}
+		isReg, rs2, imm, err := a.regOrImm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if isReg {
+			return []uint32{isa.EncodeArith(op3, rd, rs1, rs2)}, nil
+		}
+		return []uint32{isa.EncodeArithImm(op3, rd, rs1, imm)}, nil
+
+	case st.op == "sethi":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		v, err := a.number(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeSethi(rd, uint32(v))}, nil
+
+	case st.op == "set":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		v, err := a.number(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{
+			isa.EncodeSethi(rd, uint32(v)>>10),
+			isa.EncodeArithImm(isa.Op3Or, rd, rd, int32(uint32(v)&0x3ff)),
+		}, nil
+
+	case loadOps[st.op] != 0 || st.op == "ld":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, isReg, rs2, imm, err := a.address(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		op3 := loadOps[st.op]
+		if isReg {
+			return []uint32{isa.EncodeMem(op3, rd, rs1, rs2)}, nil
+		}
+		return []uint32{isa.EncodeMemImm(op3, rd, rs1, imm)}, nil
+
+	case storeOps[st.op] != 0:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, isReg, rs2, imm, err := a.address(args[1])
+		if err != nil {
+			return nil, err
+		}
+		op3 := storeOps[st.op]
+		if isReg {
+			return []uint32{isa.EncodeMem(op3, rd, rs1, rs2)}, nil
+		}
+		return []uint32{isa.EncodeMemImm(op3, rd, rs1, imm)}, nil
+
+	case branchConds[st.op] != 0 || st.op == "bn":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := a.number(args[0])
+		if err != nil {
+			return nil, err
+		}
+		disp := (int64(target) - int64(addr)) / 4
+		return []uint32{isa.EncodeBranch(branchConds[st.op], int32(disp))}, nil
+
+	case st.op == "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := a.number(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeCall(int32((int64(target) - int64(addr)) / 4))}, nil
+
+	case st.op == "jmpl":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, isReg, rs2, imm, err := a.jmplTarget(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if isReg {
+			return []uint32{isa.EncodeArith(isa.Op3Jmpl, rd, rs1, rs2)}, nil
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3Jmpl, rd, rs1, imm)}, nil
+
+	case st.op == "jmp":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs1, isReg, rs2, imm, err := a.jmplTarget(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if isReg {
+			return []uint32{isa.EncodeArith(isa.Op3Jmpl, 0, rs1, rs2)}, nil
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3Jmpl, 0, rs1, imm)}, nil
+
+	case st.op == "ta":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := a.number(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3Ticc, 0, 0, int32(v))}, nil
+
+	// Synthetic instructions.
+	case st.op == "mov":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		isReg, rs2, imm, err := a.regOrImm(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if isReg {
+			return []uint32{isa.EncodeArith(isa.Op3Or, rd, 0, rs2)}, nil
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3Or, rd, 0, imm)}, nil
+
+	case st.op == "cmp":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		isReg, rs2, imm, err := a.regOrImm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if isReg {
+			return []uint32{isa.EncodeArith(isa.Op3SubCC, 0, rs1, rs2)}, nil
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3SubCC, 0, rs1, imm)}, nil
+
+	case st.op == "clr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArith(isa.Op3Or, rd, 0, 0)}, nil
+
+	case st.op == "inc":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3Add, rd, rd, 1)}, nil
+
+	case st.op == "dec":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3Sub, rd, rd, 1)}, nil
+
+	case st.op == "neg":
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("%s: want 1 or 2 operands, got %d", st.op, len(args))
+		}
+		// neg %rd  or  neg %rs, %rd
+		rs, rd := args[0], args[len(args)-1]
+		r1, err := a.reg(rs)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := a.reg(rd)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArith(isa.Op3Sub, r2, 0, r1)}, nil
+
+	case st.op == "not":
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("%s: want 1 or 2 operands, got %d", st.op, len(args))
+		}
+		rs, rd := args[0], args[len(args)-1]
+		r1, err := a.reg(rs)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := a.reg(rd)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3Xor, r2, r1, -1)}, nil
+
+	case st.op == "tst":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArith(isa.Op3OrCC, 0, 0, rs)}, nil
+
+	case st.op == "deccc":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3SubCC, rd, rd, 1)}, nil
+
+	case st.op == "inccc":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeArithImm(isa.Op3AddCC, rd, rd, 1)}, nil
+
+	case st.op == "nop":
+		return []uint32{isa.EncodeSethi(0, 0)}, nil
+
+	case st.op == "ret", st.op == "retl":
+		// Without delay slots the return address (the call's own pc)
+		// is skipped by +4. ret is used after restore, so the address
+		// is in %o7.
+		return []uint32{isa.EncodeArithImm(isa.Op3Jmpl, 0, 15, 4)}, nil
+
+	case st.op == "halt":
+		return []uint32{isa.EncodeArithImm(isa.Op3Ticc, 0, 0, isa.TrapHalt)}, nil
+
+	case st.op == "yield":
+		return []uint32{isa.EncodeArithImm(isa.Op3Ticc, 0, 0, isa.TrapYield)}, nil
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", st.op)
+}
+
+// jmplTarget parses "%reg", "%reg + off" or "%reg + %reg" (no brackets).
+func (a *assembler) jmplTarget(s string) (rs1 int, isReg bool, rs2 int, imm int32, err error) {
+	return a.address("[" + strings.TrimSpace(s) + "]")
+}

@@ -1,0 +1,63 @@
+package asm
+
+import (
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/isa"
+)
+
+// FuzzAssemble checks the assembler never panics: any input either
+// assembles or returns an error. Seeds cover every mnemonic family and
+// a set of malformed shapes.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"start:\n\tmov 1, %o0\n\tta 0\n",
+		"\tadd %o0, %o1, %o2",
+		"\tadd %o0, -4096, %o2",
+		"\tld [%fp - 4], %l0\n\tst %l0, [%sp + 8]",
+		"\tsethi %hi(0xdeadbeef), %g1\n\tor %g1, %lo(0xdeadbeef), %g1",
+		"\tset label, %o0\nlabel:\n\t.word 1, 2, 3",
+		"\t.space 16",
+		"\tcall nowhere",
+		"a: b: c: nop",
+		"\tbne a\na:\tnop",
+		"\tsave %sp, -96, %sp\n\trestore\n\tret",
+		"\tjmpl %o7 + 4, %g0",
+		"\tjmp %o7",
+		"\tneg %o0\n\tnot %o1, %o2\n\ttst %o3",
+		"\tmov 'x', %o0",
+		"! just a comment",
+		"\tclr",
+		"\tadd",
+		"\tld %o0, %o1",
+		"\t.space -8",
+		"\t.space 3",
+		"\tmov 99999999, %o0",
+		"\tsll %o0, 33, %o1",
+		"dup: nop\ndup: nop",
+		"\tta",
+		": :",
+		"[%o0]",
+		"\tadd %o9, %o1, %o2",
+		"\tst %o0, [%o1 - %o2]",
+		"\tsmul %o0, %hi(12), %o1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src, 0x1000)
+		if err != nil {
+			return
+		}
+		// Anything that assembles must also disassemble and load.
+		m := isa.NewMachine(core.SchemeSP, 4)
+		p.Load(m.Mem)
+		for i, w := range p.Words {
+			if d := Disassemble(w, p.Origin+uint32(4*i)); d == "" {
+				t.Fatalf("empty disassembly for %#08x", w)
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/isa"
+)
+
+// quicksort sorts the word array [%o0 .. %o1] (addresses of first and
+// last element) with Lomuto partitioning. The recursion is irregular
+// and can be as deep as the array, driving both trap handlers hard on
+// small window files.
+const quicksortSrc = `
+start:
+	set %LO%, %o0
+	set %HI%, %o1
+	call qsort
+	ta 0
+
+qsort:
+	save %sp, -96, %sp
+	cmp %i0, %i1
+	bgeu qdone
+	ld [%i1], %l0        ! pivot = *hi
+	mov %i0, %l1         ! i = lo
+	mov %i0, %l2         ! j = lo
+ploop:
+	cmp %l2, %i1
+	bgeu pdone
+	ld [%l2], %l3
+	cmp %l3, %l0
+	bgu pnext            ! *j > pivot: leave it
+	ld [%l1], %l4        ! swap *i, *j
+	st %l3, [%l1]
+	st %l4, [%l2]
+	add %l1, 4, %l1
+pnext:
+	add %l2, 4, %l2
+	ba ploop
+pdone:
+	ld [%l1], %l4        ! swap *i, *hi (pivot into place)
+	ld [%i1], %l5
+	st %l5, [%l1]
+	st %l4, [%i1]
+	mov %i0, %o0         ! sort the left part [lo, i-1]
+	sub %l1, 4, %o1
+	call qsort
+	add %l1, 4, %o0      ! sort the right part [i+1, hi]
+	mov %i1, %o1
+	call qsort
+qdone:
+	restore
+	ret
+`
+
+func TestQuicksortAssembly(t *testing.T) {
+	const base = 0x3000
+	for _, s := range core.Schemes {
+		for _, windows := range []int{3, 6, 16} {
+			for _, n := range []int{1, 2, 17, 96} {
+				t.Run(fmt.Sprintf("%v/w%d/n%d", s, windows, n), func(t *testing.T) {
+					src := quicksortSrc
+					src = strings.ReplaceAll(src, "%LO%", fmt.Sprintf("%#x", base))
+					src = strings.ReplaceAll(src, "%HI%", fmt.Sprintf("%#x", base+4*(n-1)))
+					p := MustAssemble(src, org)
+
+					rng := rand.New(rand.NewSource(int64(n)))
+					data := make([]uint32, n)
+					m := isa.NewMachine(s, windows)
+					for i := range data {
+						data[i] = rng.Uint32() >> 1
+						m.Mem.Store32(base+uint32(4*i), data[i])
+					}
+					p.Load(m.Mem)
+					if _, err := m.RunProgram(p.Entry("start"), 20_000_000); err != nil {
+						t.Fatal(err)
+					}
+					sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+					for i, want := range data {
+						if got := m.Mem.Load32(base + uint32(4*i)); got != want {
+							t.Fatalf("element %d = %d, want %d", i, got, want)
+						}
+					}
+					if n >= 17 && windows <= 6 && m.Mgr.Counters().OverflowTraps == 0 {
+						t.Error("expected overflow traps on a small window file")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHalfwordAndCarryOps covers the extended instruction set through
+// the assembler: 64-bit addition via addcc/addx and halfword memory.
+func TestHalfwordAndCarryOps(t *testing.T) {
+	p := MustAssemble(`
+start:
+	! 64-bit add: (%o0:%o1) = 0x00000001_ffffffff + 0x00000002_00000003
+	set 0xffffffff, %o1
+	mov 1, %o0
+	set 3, %o3
+	mov 2, %o2
+	addcc %o1, %o3, %o1   ! low word, sets carry
+	addx %o0, %o2, %o0    ! high word + carry
+	! halfwords
+	set 0x5000, %l0
+	set 0x8001, %l1
+	sth %l1, [%l0]
+	lduh [%l0], %l2       ! 0x8001 zero-extended
+	ldsh [%l0], %l3       ! 0x8001 sign-extended
+	ta 0
+`, org)
+	m := isa.NewMachine(core.SchemeSP, 8)
+	p.Load(m.Mem)
+	cpu, err := m.RunProgram(p.Entry("start"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi, lo := cpu.Reg(8), cpu.Reg(9); hi != 4 || lo != 2 {
+		t.Errorf("64-bit sum = %#x:%#x, want 0x4:0x2", hi, lo)
+	}
+	if got := cpu.Reg(18); got != 0x8001 {
+		t.Errorf("lduh = %#x, want 0x8001", got)
+	}
+	if got := cpu.Reg(19); got != 0xffff8001 {
+		t.Errorf("ldsh = %#x, want sign-extended 0xffff8001", got)
+	}
+}
+
+// TestNewSynthetics covers neg, not, tst, deccc, inccc.
+func TestNewSynthetics(t *testing.T) {
+	p := MustAssemble(`
+start:
+	mov 5, %o0
+	neg %o0, %o1          ! -5
+	not %o0, %o2          ! ^5
+	mov 2, %o3
+loop:
+	deccc %o3
+	bne loop
+	tst %o3
+	be iszero
+	mov 99, %o4
+	ta 0
+iszero:
+	mov 1, %o4
+	inccc %o4
+	ta 0
+`, org)
+	m := isa.NewMachine(core.SchemeNS, 8)
+	p.Load(m.Mem)
+	cpu, err := m.RunProgram(p.Entry("start"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.Reg(9); got != uint32(0xfffffffb) {
+		t.Errorf("neg = %#x", got)
+	}
+	if got := cpu.Reg(10); got != ^uint32(5) {
+		t.Errorf("not = %#x", got)
+	}
+	if got := cpu.Reg(12); got != 2 {
+		t.Errorf("%%o4 = %d, want 2 (tst/be path)", got)
+	}
+}
+
+// TestMisalignedHalfwordError pins the alignment diagnostic.
+func TestMisalignedHalfwordError(t *testing.T) {
+	p := MustAssemble("start:\n\tmov 1, %o0\n\tlduh [%o0], %o1\n", org)
+	m := isa.NewMachine(core.SchemeSP, 8)
+	p.Load(m.Mem)
+	if _, err := m.RunProgram(p.Entry("start"), 10); err == nil {
+		t.Error("misaligned halfword load did not error")
+	}
+}

@@ -1,0 +1,644 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/regwin"
+)
+
+// rig drives the same operation sequence through every real scheme and
+// the infinite-window reference, verifying structural invariants after
+// each step and comparing every visible register between each scheme and
+// the oracle.
+type rig struct {
+	t       *testing.T
+	mgrs    []Manager // index 0 is the Reference oracle
+	threads [][]*Thread
+	depth   []int
+	alive   []bool
+	cur     int
+}
+
+func newRig(t *testing.T, windows, nthreads int) *rig {
+	r := &rig{t: t, cur: -1}
+	r.mgrs = append(r.mgrs, NewReference(Config{Windows: windows}))
+	for _, s := range Schemes {
+		r.mgrs = append(r.mgrs, New(s, Config{Windows: windows}))
+	}
+	r.threads = make([][]*Thread, len(r.mgrs))
+	for i, m := range r.mgrs {
+		for j := 0; j < nthreads; j++ {
+			r.threads[i] = append(r.threads[i], m.NewThread(j, fmt.Sprintf("t%d", j)))
+		}
+	}
+	r.depth = make([]int, nthreads)
+	r.alive = make([]bool, nthreads)
+	for j := range r.alive {
+		r.alive[j] = true
+	}
+	return r
+}
+
+func (r *rig) check(op string) {
+	r.t.Helper()
+	for _, m := range r.mgrs {
+		if err := m.(Verifier).Verify(); err != nil {
+			r.t.Fatalf("after %s: %s invariant violation: %v", op, m.Scheme(), err)
+		}
+	}
+	if r.cur < 0 {
+		return
+	}
+	ref := r.mgrs[0]
+	for _, m := range r.mgrs[1:] {
+		for reg := 1; reg < 32; reg++ {
+			want, got := ref.Reg(reg), m.Reg(reg)
+			if want != got {
+				r.t.Fatalf("after %s: %s register %d = %#x, oracle has %#x (thread %d, depth %d)",
+					op, m.Scheme(), reg, got, want, r.cur, r.depth[r.cur])
+			}
+		}
+	}
+}
+
+func (r *rig) switchTo(j int, flush bool) {
+	r.t.Helper()
+	for i, m := range r.mgrs {
+		if flush {
+			m.SwitchFlush(r.threads[i][j])
+		} else {
+			m.Switch(r.threads[i][j])
+		}
+	}
+	r.cur = j
+	// A thread's first window starts zeroed in every model, and later
+	// resumptions must preserve all registers, so windows are directly
+	// comparable here.
+	r.check(fmt.Sprintf("switch(%d,flush=%v)", j, flush))
+}
+
+// save enters a procedure and defines the new window's locals and outs
+// (real hardware leaves them stale from the window's previous occupant,
+// while the oracle zeroes them, so the test writes them immediately, as
+// any real procedure does before reading).
+func (r *rig) save(seed int64) {
+	r.t.Helper()
+	for _, m := range r.mgrs {
+		m.Save()
+		rng := rand.New(rand.NewSource(seed))
+		for reg := regwin.RegO0; reg < regwin.RegL0+regwin.NPart; reg++ {
+			m.SetReg(reg, rng.Uint32())
+		}
+	}
+	r.depth[r.cur]++
+	r.check("save")
+}
+
+func (r *rig) restore() {
+	r.t.Helper()
+	for _, m := range r.mgrs {
+		m.Restore()
+	}
+	r.depth[r.cur]--
+	r.check("restore")
+}
+
+func (r *rig) write(reg int, v uint32) {
+	r.t.Helper()
+	for _, m := range r.mgrs {
+		m.SetReg(reg, v)
+	}
+	r.check(fmt.Sprintf("write r%d", reg))
+}
+
+func (r *rig) exit() {
+	r.t.Helper()
+	for _, m := range r.mgrs {
+		m.Exit()
+	}
+	r.alive[r.cur] = false
+	r.depth[r.cur] = 0
+	r.cur = -1
+	r.check("exit")
+}
+
+// TestDeepRecursionAllSchemes drives one thread far past the window
+// count and back, checking register contents against the oracle at
+// every step (exercising overflow and underflow trap handlers).
+func TestDeepRecursionAllSchemes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 32} {
+		t.Run(fmt.Sprintf("windows=%d", n), func(t *testing.T) {
+			r := newRig(t, n, 1)
+			r.switchTo(0, false)
+			depth := 3*n + 5
+			for d := 0; d < depth; d++ {
+				r.write(regwin.RegO0+2, uint32(1000+d)) // outgoing argument
+				r.save(int64(d))
+				in := r.mgrs[0].Reg(regwin.RegI0 + 2)
+				if in != uint32(1000+d) {
+					t.Fatalf("oracle lost the argument at depth %d", d)
+				}
+			}
+			for d := depth; d > 0; d-- {
+				r.write(regwin.RegI0+3, uint32(2000+d)) // return value in %i3
+				r.restore()
+				got := r.mgrs[0].Reg(regwin.RegO0 + 3)
+				if got != uint32(2000+d) {
+					t.Fatalf("oracle lost the return value at depth %d", d)
+				}
+			}
+			r.exit()
+		})
+	}
+}
+
+// TestTrapCountsSingleThread checks the trap and transfer counts of a
+// lone thread descending to depth d (using d+1 windows) and returning.
+//
+// Windows actually spilled/refilled follow max(0, d+1-(n-1)) in every
+// scheme: n-1 windows are usable by a lone thread (one window is
+// reserved — globally for NS and SNP, privately for SP).
+//
+// Trap counts differ by scheme. NS marks only the reserved window, so a
+// save into fresh territory is free and traps happen only when a spill
+// is needed. The sharing schemes mark every window outside the thread's
+// region (Figure 5), so each first-time growth save traps — cheaply,
+// with no transfer, when the slot above the boundary is free.
+func TestTrapCountsSingleThread(t *testing.T) {
+	for _, s := range Schemes {
+		for _, n := range []int{2, 4, 8} {
+			for _, depth := range []int{1, 3, 7, 20} {
+				name := fmt.Sprintf("%v/windows=%d/depth=%d", s, n, depth)
+				t.Run(name, func(t *testing.T) {
+					m := New(s, Config{Windows: n})
+					th := m.NewThread(0, "solo")
+					m.Switch(th)
+					for i := 0; i < depth; i++ {
+						m.Save()
+					}
+					spills := uint64(0)
+					if over := depth + 1 - (n - 1); over > 0 {
+						spills = uint64(over)
+					}
+					wantOver := spills
+					if s != SchemeNS {
+						wantOver = uint64(depth) // every growth save traps
+					}
+					c := m.Counters()
+					if c.OverflowTraps != wantOver {
+						t.Errorf("overflow traps = %d, want %d", c.OverflowTraps, wantOver)
+					}
+					if c.TrapSaves != spills {
+						t.Errorf("windows spilled = %d, want %d", c.TrapSaves, spills)
+					}
+					for i := 0; i < depth; i++ {
+						m.Restore()
+					}
+					c = m.Counters()
+					if c.UnderflowTraps != spills {
+						t.Errorf("underflow traps = %d, want %d", c.UnderflowTraps, spills)
+					}
+					if c.TrapRestores != spills {
+						t.Errorf("windows refilled = %d, want %d", c.TrapRestores, spills)
+					}
+					if err := m.(Verifier).Verify(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRandomDifferential is the main property test: long random
+// sequences of save/restore/switch/flush-switch/write/exit across
+// several threads and window counts must keep every scheme
+// register-identical to the infinite-window oracle.
+func TestRandomDifferential(t *testing.T) {
+	steps := 4000
+	if testing.Short() {
+		steps = 800
+	}
+	for _, n := range []int{2, 3, 4, 5, 8, 16} {
+		t.Run(fmt.Sprintf("windows=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(n) * 7919))
+			nthreads := 4
+			r := newRig(t, n, nthreads)
+			next := nthreads
+			for step := 0; step < steps; step++ {
+				if r.cur < 0 {
+					// Pick any live thread; respawn if all exited.
+					live := []int{}
+					for j, a := range r.alive {
+						if a {
+							live = append(live, j)
+						}
+					}
+					if len(live) == 0 {
+						for i, m := range r.mgrs {
+							r.threads[i] = append(r.threads[i], m.NewThread(next, fmt.Sprintf("t%d", next)))
+						}
+						r.depth = append(r.depth, 0)
+						r.alive = append(r.alive, true)
+						live = []int{len(r.alive) - 1}
+						next++
+					}
+					r.switchTo(live[rng.Intn(len(live))], false)
+					continue
+				}
+				switch p := rng.Intn(100); {
+				case p < 35:
+					r.save(rng.Int63())
+				case p < 60:
+					if r.depth[r.cur] > 0 {
+						r.restore()
+					} else {
+						r.save(rng.Int63())
+					}
+				case p < 80:
+					// Switch to a random live thread (maybe itself).
+					live := []int{}
+					for j, a := range r.alive {
+						if a {
+							live = append(live, j)
+						}
+					}
+					r.switchTo(live[rng.Intn(len(live))], rng.Intn(10) == 0)
+				case p < 97:
+					reg := 1 + rng.Intn(31)
+					r.write(reg, rng.Uint32())
+				default:
+					if rng.Intn(4) == 0 {
+						r.exit()
+					} else {
+						r.save(rng.Int63())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSNPPingPongThrash reproduces the pathology of Section 4.2: with
+// simple allocation and no PRW, repeatedly switching between a resident
+// thread and a windowless one forces a window transfer on every
+// round trip.
+func TestSNPPingPongThrash(t *testing.T) {
+	m := NewSNP(Config{Windows: 8})
+	a := m.NewThread(0, "A")
+	b := m.NewThread(1, "B")
+	m.Switch(a)
+	for i := 0; i < 3; i++ {
+		m.Save()
+	}
+	before := m.Counters().SwitchSaves
+	for i := 0; i < 10; i++ {
+		m.Switch(b) // B gets a window above A, stealing the reserved slot's space
+		m.Switch(a) // A needs its reserved window back: B's window is spilled
+	}
+	transfers := m.Counters().SwitchSaves - before
+	if transfers < 10 {
+		t.Errorf("SNP ping-pong moved only %d windows over 10 round trips; expected thrashing (>=10)", transfers)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPPingPongBestCase shows the same pattern under SP costs nothing
+// once both threads are resident: every later switch is the zero-transfer
+// best case of Table 2.
+func TestSPPingPongBestCase(t *testing.T) {
+	m := NewSP(Config{Windows: 8})
+	a := m.NewThread(0, "A")
+	b := m.NewThread(1, "B")
+	m.Switch(a)
+	for i := 0; i < 2; i++ {
+		m.Save()
+	}
+	m.Switch(b)
+	before := m.Counters()
+	saves, zeros := before.SwitchSaves, before.ZeroTransferSwitches
+	for i := 0; i < 10; i++ {
+		m.Switch(a)
+		m.Switch(b)
+	}
+	c := m.Counters()
+	if c.SwitchSaves != saves {
+		t.Errorf("SP ping-pong transferred %d windows; want 0", c.SwitchSaves-saves)
+	}
+	if got := c.ZeroTransferSwitches - zeros; got != 20 {
+		t.Errorf("zero-transfer switches = %d, want 20", got)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTable2SwitchCosts constructs the exact transfer situations of
+// Table 2 and checks the charged switch cycles land in the measured
+// ranges.
+func TestTable2SwitchCosts(t *testing.T) {
+	lastSwitchCost := func(m Manager, f func()) uint64 {
+		before := m.Counters().SwitchCycles
+		f()
+		return m.Counters().SwitchCycles - before
+	}
+	within := func(t *testing.T, got, lo, hi uint64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("switch cost = %d, want within [%d,%d]", got, lo, hi)
+		}
+	}
+
+	t.Run("NS", func(t *testing.T) {
+		// k active windows flushed + 1 restore.
+		for k := 1; k <= 6; k++ {
+			m := NewNS(Config{Windows: 8})
+			a := m.NewThread(0, "A")
+			b := m.NewThread(1, "B")
+			m.Switch(b)
+			m.Save() // give B a frame to restore later
+			m.Switch(a)
+			for i := 0; i < k-1; i++ {
+				m.Save()
+			}
+			got := lastSwitchCost(m, func() { m.Switch(b) })
+			lo := uint64(145 + (k-1)*36)
+			within(t, got, lo, lo+4)
+		}
+	})
+
+	t.Run("SNP-best", func(t *testing.T) {
+		// The zero-transfer SNP switch needs an incoming thread whose
+		// slot above the stack-top is free; with the simple allocator
+		// that means switching to the most recently allocated region
+		// (switching to a thread with a live neighbour directly above
+		// is exactly the Section 4.2 thrashing case). Layout: a at the
+		// bottom, b above it, c on top; switching a->c after c ran is
+		// free of transfers.
+		m := NewSNP(Config{Windows: 16})
+		a := m.NewThread(0, "A")
+		b := m.NewThread(1, "B")
+		c := m.NewThread(2, "C")
+		m.Switch(a)
+		m.Switch(b)
+		m.Save()
+		m.Save()
+		m.Switch(c)
+		m.Switch(a) // pays one spill (b's bottom) to re-reserve above a
+		got := lastSwitchCost(m, func() { m.Switch(c) })
+		within(t, got, 113, 118) // 0 save, 0 restore
+	})
+
+	t.Run("SNP-save-restore", func(t *testing.T) {
+		// B windowless with a saved frame, allocation slot free but the
+		// slot above it occupied: 1 save + 1 restore.
+		m := NewSNP(Config{Windows: 4})
+		a := m.NewThread(0, "A")
+		b := m.NewThread(1, "B")
+		m.Switch(b)
+		m.Save()
+		m.Switch(a)
+		// A grows enough that B's windows are all spilled and the slot
+		// above the reserved one is owned by A.
+		for i := 0; i < 4; i++ {
+			m.Save()
+		}
+		if m.Resident(b) {
+			t.Fatal("B should have been spilled out")
+		}
+		got := lastSwitchCost(m, func() { m.Switch(b) })
+		within(t, got, 187, 196) // 1 save, 1 restore
+	})
+
+	t.Run("SP-best", func(t *testing.T) {
+		m := NewSP(Config{Windows: 16})
+		a := m.NewThread(0, "A")
+		b := m.NewThread(1, "B")
+		m.Switch(a)
+		m.Switch(b)
+		got := lastSwitchCost(m, func() { m.Switch(a) })
+		within(t, got, 93, 98) // 0 save, 0 restore
+	})
+
+	t.Run("SP-restore", func(t *testing.T) {
+		// B windowless with a saved frame; allocation finds two free
+		// slots: 0 saves + 1 restore.
+		m := NewSP(Config{Windows: 16})
+		a := m.NewThread(0, "A")
+		b := m.NewThread(1, "B")
+		m.Switch(b)
+		m.Save()
+		m.Switch(a)
+		for i := 0; i < 14; i++ { // push B out of the file
+			m.Save()
+		}
+		if m.Resident(b) {
+			t.Fatal("B should have been spilled out")
+		}
+		for i := 0; i < 14; i++ {
+			m.Restore()
+		}
+		got := lastSwitchCost(m, func() { m.Switch(b) })
+		within(t, got, 136, 141)
+	})
+
+	t.Run("SP-worst", func(t *testing.T) {
+		// Allocation must spill two victims: 2 saves + 1 restore.
+		m := NewSP(Config{Windows: 4})
+		a := m.NewThread(0, "A")
+		b := m.NewThread(1, "B")
+		m.Switch(b)
+		m.Save()
+		m.Switch(a)
+		for i := 0; i < 4; i++ {
+			m.Save()
+		}
+		if m.Resident(b) {
+			t.Fatal("B should have been spilled out")
+		}
+		got := lastSwitchCost(m, func() { m.Switch(b) })
+		within(t, got, 220, 237)
+	})
+}
+
+// TestNSNeverLeavesResidentWindows checks the defining property of NS.
+func TestNSNeverLeavesResidentWindows(t *testing.T) {
+	m := NewNS(Config{Windows: 8})
+	a := m.NewThread(0, "A")
+	b := m.NewThread(1, "B")
+	m.Switch(a)
+	for i := 0; i < 4; i++ {
+		m.Save()
+	}
+	m.Switch(b)
+	if m.Resident(a) {
+		t.Error("NS left A's windows resident after a switch")
+	}
+	if a.SavedWindows() != 5 {
+		t.Errorf("A has %d windows in memory, want 5", a.SavedWindows())
+	}
+}
+
+// TestHiddenUnderflowAfterNSSwitch checks the "hidden overhead" of NS
+// noted in Section 6.2: only the stack-top window returns at switch-in,
+// so returning past it takes underflow traps.
+func TestHiddenUnderflowAfterNSSwitch(t *testing.T) {
+	m := NewNS(Config{Windows: 8})
+	a := m.NewThread(0, "A")
+	b := m.NewThread(1, "B")
+	m.Switch(a)
+	for i := 0; i < 3; i++ {
+		m.Save()
+	}
+	m.Switch(b)
+	m.Switch(a)
+	before := m.Counters().UnderflowTraps
+	for i := 0; i < 3; i++ {
+		m.Restore()
+	}
+	if got := m.Counters().UnderflowTraps - before; got != 3 {
+		t.Errorf("underflow traps after resume = %d, want 3", got)
+	}
+}
+
+// TestSharingLeavesWindowsInSitu checks that both sharing schemes keep a
+// suspended thread's windows resident so it can resume without traps.
+func TestSharingLeavesWindowsInSitu(t *testing.T) {
+	for _, s := range []Scheme{SchemeSNP, SchemeSP} {
+		t.Run(s.String(), func(t *testing.T) {
+			m := New(s, Config{Windows: 16})
+			a := m.NewThread(0, "A")
+			b := m.NewThread(1, "B")
+			m.Switch(a)
+			for i := 0; i < 3; i++ {
+				m.Save()
+			}
+			m.Switch(b)
+			if !m.Resident(a) {
+				t.Fatal("suspended thread lost its windows")
+			}
+			m.Switch(a)
+			before := m.Counters().UnderflowTraps
+			for i := 0; i < 3; i++ {
+				m.Restore()
+			}
+			if got := m.Counters().UnderflowTraps - before; got != 0 {
+				t.Errorf("resumed thread took %d underflow traps, want 0", got)
+			}
+		})
+	}
+}
+
+// TestSwitchFlushReleasesEverything checks the flushing switch type of
+// Section 4.4.
+func TestSwitchFlushReleasesEverything(t *testing.T) {
+	for _, s := range []Scheme{SchemeSNP, SchemeSP} {
+		t.Run(s.String(), func(t *testing.T) {
+			m := New(s, Config{Windows: 16})
+			a := m.NewThread(0, "A")
+			b := m.NewThread(1, "B")
+			m.Switch(a)
+			for i := 0; i < 3; i++ {
+				m.Save()
+			}
+			m.SwitchFlush(b)
+			if m.Resident(a) {
+				t.Error("flushing switch left windows resident")
+			}
+			if a.SavedWindows() != 4 {
+				t.Errorf("A has %d windows in memory, want 4", a.SavedWindows())
+			}
+			if err := m.(Verifier).Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSaveCountSchemeIndependent checks the Table 1 invariant that the
+// dynamic count of save instructions depends only on the program, never
+// on the scheme or window count.
+func TestSaveCountSchemeIndependent(t *testing.T) {
+	run := func(s Scheme, n int) uint64 {
+		m := New(s, Config{Windows: n})
+		a := m.NewThread(0, "A")
+		b := m.NewThread(1, "B")
+		m.Switch(a)
+		for i := 0; i < 10; i++ {
+			m.Save()
+			m.Switch(b)
+			m.Save()
+			m.Save()
+			m.Restore()
+			m.Switch(a)
+		}
+		return m.Counters().Saves
+	}
+	want := run(SchemeNS, 8)
+	for _, s := range Schemes {
+		for _, n := range []int{2, 4, 8, 32} {
+			if got := run(s, n); got != want {
+				t.Errorf("%v windows=%d executed %d saves, want %d", s, n, got, want)
+			}
+		}
+	}
+}
+
+// TestExitFreesSlotsForReuse runs many short-lived threads through a
+// tiny file; the ownership table must never leak slots.
+func TestExitFreesSlotsForReuse(t *testing.T) {
+	for _, s := range Schemes {
+		t.Run(s.String(), func(t *testing.T) {
+			m := New(s, Config{Windows: 4})
+			for i := 0; i < 50; i++ {
+				th := m.NewThread(i, fmt.Sprintf("gen%d", i))
+				m.Switch(th)
+				m.Save()
+				m.Save()
+				m.Restore()
+				m.Exit()
+				if err := m.(Verifier).Verify(); err != nil {
+					t.Fatalf("generation %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRestorePastOutermostPanics pins the contract that threads must
+// Exit rather than return from their first frame.
+func TestRestorePastOutermostPanics(t *testing.T) {
+	for _, s := range append(Schemes, SchemeReference) {
+		t.Run(s.String(), func(t *testing.T) {
+			m := New(s, Config{Windows: 4})
+			th := m.NewThread(0, "t")
+			m.Switch(th)
+			defer func() {
+				if recover() == nil {
+					t.Error("Restore at depth 0 did not panic")
+				}
+			}()
+			m.Restore()
+		})
+	}
+}
+
+// TestSharedCycleCounter checks that a caller-provided counter is used.
+func TestSharedCycleCounter(t *testing.T) {
+	c := new(cycles.Counter)
+	m := NewSP(Config{Windows: 4, Counter: c})
+	th := m.NewThread(0, "t")
+	m.Switch(th)
+	m.Save()
+	if c.Total() == 0 {
+		t.Error("shared counter saw no cycles")
+	}
+	if c != m.Cycles() {
+		t.Error("Cycles() did not return the shared counter")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cyclicwin/internal/regwin"
+)
+
+// These tests pin, by name, the register-aliasing hazards that the
+// schemes must navigate — each was a real failure mode during
+// development. The random differential would eventually catch
+// regressions too; these document the mechanism.
+
+// TestSPOutsSurviveSuspensionWithDeadWindows: a suspended SP thread's
+// stack-top out registers live in the in registers of the slot above
+// its stack-top. When the thread suspends with dead windows above the
+// stack-top, the PRW relocation must land on that slot without scrubbing
+// those registers.
+func TestSPOutsSurviveSuspensionWithDeadWindows(t *testing.T) {
+	m := NewSP(Config{Windows: 16})
+	a := m.NewThread(0, "A")
+	b := m.NewThread(1, "B")
+	m.Switch(a)
+	// Build dead windows: call two deep, return.
+	m.Save()
+	m.Save()
+	m.Restore()
+	m.Restore()
+	// Park live data in A's outs.
+	for i := 0; i < regwin.NPart; i++ {
+		m.SetReg(regwin.RegO0+i, uint32(0xA0+i))
+	}
+	m.Switch(b) // A suspends: dead windows freed, PRW relocated onto the outs
+	m.Save()
+	for i := 0; i < regwin.NPart; i++ {
+		m.SetReg(regwin.RegO0+i, 0xB0) // B writes its own outs elsewhere
+	}
+	m.Restore()
+	m.Switch(a)
+	for i := 0; i < regwin.NPart; i++ {
+		if got := m.Reg(regwin.RegO0 + i); got != uint32(0xA0+i) {
+			t.Fatalf("A's out %d = %#x after resume, want %#x", i, got, 0xA0+i)
+		}
+	}
+}
+
+// TestSNPOutsSurviveReservedReuse: under SNP the outs of a suspended
+// thread's stack-top physically occupy the shared reserved slot, which
+// the next thread reuses; the out-register swap through the TCB must
+// preserve them.
+func TestSNPOutsSurviveReservedReuse(t *testing.T) {
+	m := NewSNP(Config{Windows: 6})
+	a := m.NewThread(0, "A")
+	b := m.NewThread(1, "B")
+	m.Switch(a)
+	for i := 0; i < regwin.NPart; i++ {
+		m.SetReg(regwin.RegO0+i, uint32(0x50+i))
+	}
+	m.Switch(b)
+	// B grows straight through the file, recycling every slot
+	// including the one that held A's outs.
+	for i := 0; i < 8; i++ {
+		m.Save()
+		for j := 0; j < regwin.NPart; j++ {
+			m.SetReg(regwin.RegO0+j, 0xEE)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		m.Restore()
+	}
+	m.Switch(a)
+	for i := 0; i < regwin.NPart; i++ {
+		if got := m.Reg(regwin.RegO0 + i); got != uint32(0x50+i) {
+			t.Fatalf("A's out %d = %#x after eviction and resume, want %#x", i, got, 0x50+i)
+		}
+	}
+}
+
+// TestInPlaceUnderflowReturnValueFlow: the Section 3.2 copy (callee ins
+// -> callee outs) is exactly what makes return values visible to a
+// caller restored in place.
+func TestInPlaceUnderflowReturnValueFlow(t *testing.T) {
+	for _, s := range []Scheme{SchemeSNP, SchemeSP} {
+		t.Run(s.String(), func(t *testing.T) {
+			m := New(s, Config{Windows: 4})
+			th := m.NewThread(0, "t")
+			m.Switch(th)
+			// Descend far enough that frames sit in memory, then return
+			// until the first underflow, with the returning callee
+			// leaving a value in its ins each time.
+			for i := 0; i < 8; i++ {
+				m.Save()
+			}
+			steps := 0
+			for m.Counters().UnderflowTraps == 0 {
+				if steps++; steps > 8 {
+					t.Fatal("scenario produced no underflow")
+				}
+				m.SetReg(regwin.RegI0, 4242)
+				m.Restore()
+			}
+			if got := m.Reg(regwin.RegO0); got != 4242 {
+				t.Errorf("caller's %%o0 = %d after in-place underflow, want 4242", got)
+			}
+		})
+	}
+}
+
+// TestNSReservedCollisionWithOwnDeadWindow: when an NS thread's region
+// spans all usable windows and it underflows, the migrating reserved
+// window lands on the thread's own dead top window, which must be
+// released (found by the first differential run).
+func TestNSReservedCollisionWithOwnDeadWindow(t *testing.T) {
+	m := NewNS(Config{Windows: 4})
+	th := m.NewThread(0, "t")
+	m.Switch(th)
+	for i := 0; i < 6; i++ {
+		m.Save()
+	}
+	for i := 0; i < 6; i++ {
+		m.Restore()
+		if err := m.Verify(); err != nil {
+			t.Fatalf("after restore %d: %v", i, err)
+		}
+	}
+}
+
+// TestQuickOpSequences drives quick.Check-generated operation strings
+// through the differential rig: each byte picks an operation. This
+// complements the seeded random walk with testing/quick's independent
+// generation.
+func TestQuickOpSequences(t *testing.T) {
+	windows := []int{2, 4, 9}
+	check := func(ops []byte, widx uint8) bool {
+		// Failures inside the rig report through t directly (with full
+		// context) and abort the test; quick only explores inputs.
+		n := windows[int(widx)%len(windows)]
+		r := newRig(t, n, 3)
+		for _, op := range ops {
+			if r.cur < 0 {
+				r.switchTo(int(op)%3, false)
+				continue
+			}
+			switch op % 8 {
+			case 0, 1, 2:
+				r.save(int64(op))
+			case 3, 4:
+				if r.depth[r.cur] > 0 {
+					r.restore()
+				}
+			case 5, 6:
+				r.switchTo(int(op/8)%3, op%16 == 5)
+			default:
+				r.write(1+int(op)%31, uint32(op)*2654435761)
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExitAtDepthFreesEverything: exiting mid-call-chain (frames both
+// resident and spilled) must leave the machine consistent for the next
+// thread.
+func TestExitAtDepthFreesEverything(t *testing.T) {
+	for _, s := range Schemes {
+		t.Run(s.String(), func(t *testing.T) {
+			m := New(s, Config{Windows: 4})
+			for gen := 0; gen < 5; gen++ {
+				th := m.NewThread(gen, fmt.Sprintf("g%d", gen))
+				m.Switch(th)
+				for i := 0; i < 7; i++ { // deeper than the file
+					m.Save()
+				}
+				m.Exit()
+				if err := m.(Verifier).Verify(); err != nil {
+					t.Fatalf("generation %d: %v", gen, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cyclicwin/internal/cycles"
+)
+
+// TestSwitchFlushCostAccounting checks the Section 4.4 premise in the
+// cost model itself: flushing k windows at switch time costs k*36
+// cycles on top of the switch, while evicting the same k windows later
+// through overflow traps costs k*(36+trap overhead).
+func TestSwitchFlushCostAccounting(t *testing.T) {
+	for _, s := range []Scheme{SchemeSNP, SchemeSP} {
+		t.Run(s.String(), func(t *testing.T) {
+			m := New(s, Config{Windows: 16})
+			a := m.NewThread(0, "A")
+			b := m.NewThread(1, "B")
+			m.Switch(a)
+			for i := 0; i < 3; i++ {
+				m.Save()
+			}
+			before := m.Counters().SwitchCycles
+			m.SwitchFlush(b)
+			flushCost := m.Counters().SwitchCycles - before
+			// 4 windows flushed (3 callees + the outermost frame).
+			if min := uint64(4 * cycles.SaveWindow); flushCost < min {
+				t.Errorf("flush switch cost = %d, want at least %d for the transfers", flushCost, min)
+			}
+			if m.Counters().SwitchSaves != 4 {
+				t.Errorf("switch saves = %d, want 4", m.Counters().SwitchSaves)
+			}
+			if err := m.(Verifier).Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSwitchFlushToSelfIsNoop pins the guard.
+func TestSwitchFlushToSelfIsNoop(t *testing.T) {
+	m := NewSP(Config{Windows: 8})
+	a := m.NewThread(0, "A")
+	m.Switch(a)
+	m.Save()
+	before := *m.Counters()
+	m.SwitchFlush(a)
+	if got := *m.Counters(); got.Switches != before.Switches || got.SwitchSaves != before.SwitchSaves {
+		t.Error("self flush-switch changed counters")
+	}
+	if !m.Resident(a) {
+		t.Error("self flush-switch flushed the running thread")
+	}
+}
+
+// TestSearchAllocAvoidsPingPong checks the Section 4.2 alternative
+// allocator against the exact pathology the paper describes: repeated
+// switching between a resident thread and a windowless one.
+func TestSearchAllocAvoidsPingPong(t *testing.T) {
+	run := func(search bool) uint64 {
+		m := NewSNP(Config{Windows: 16, SearchAlloc: search})
+		a := m.NewThread(0, "A")
+		b := m.NewThread(1, "B")
+		m.Switch(a)
+		for i := 0; i < 3; i++ {
+			m.Save()
+		}
+		for i := 0; i < 20; i++ {
+			m.Switch(b)
+			m.Switch(a)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Counters().SwitchSaves
+	}
+	simple, search := run(false), run(true)
+	if search >= simple {
+		t.Errorf("searching allocation moved %d windows, simple %d — the search should win here", search, simple)
+	}
+	if search > 2 {
+		t.Errorf("searching allocation still thrashed (%d transfers)", search)
+	}
+}
+
+// TestReferenceManagerSurface covers the oracle's own API contract.
+func TestReferenceManagerSurface(t *testing.T) {
+	m := NewReference(Config{Windows: 8})
+	if m.Scheme() != SchemeReference || m.Scheme().String() != "REF" {
+		t.Error("scheme identity broken")
+	}
+	a := m.NewThread(0, "a")
+	if m.Resident(a) {
+		t.Error("unstarted thread reported resident")
+	}
+	if m.Running() != nil {
+		t.Error("running before any switch")
+	}
+	m.Switch(a)
+	m.SwitchFlush(a) // self, no-op
+	if !m.Resident(a) || m.Running() != a {
+		t.Error("thread not running after switch")
+	}
+	m.Save()
+	m.SetReg(8, 7)
+	if m.Reg(8) != 7 {
+		t.Error("register write lost")
+	}
+	m.Restore()
+	m.Exit()
+	if m.Running() != nil || m.Resident(a) {
+		t.Error("exit did not clear state")
+	}
+	if err := m.Verify(); err != nil {
+		t.Error(err)
+	}
+	if m.Counters().Saves != 1 || m.Counters().Restores != 1 {
+		t.Error("oracle counters wrong")
+	}
+	_ = m.Cycles()
+}
+
+// TestSchemeStringUnknown covers the formatting fallback.
+func TestSchemeStringUnknown(t *testing.T) {
+	if got := Scheme(99).String(); got != "Scheme(99)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := fmt.Sprint(SchemeNS, SchemeSNP, SchemeSP); got != "NS SNP SP" {
+		t.Errorf("schemes print as %q", got)
+	}
+}
+
+// TestNewUnknownSchemePanics pins the constructor contract.
+func TestNewUnknownSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(99) did not panic")
+		}
+	}()
+	New(Scheme(99), Config{Windows: 8})
+}
+
+// TestThreadAccessors covers the public Thread surface.
+func TestThreadAccessors(t *testing.T) {
+	m := NewSP(Config{Windows: 4})
+	th := m.NewThread(3, "worker")
+	if th.String() != "thread 3 (worker)" {
+		t.Errorf("String = %q", th.String())
+	}
+	anon := m.NewThread(4, "")
+	if anon.String() != "thread 4" {
+		t.Errorf("String = %q", anon.String())
+	}
+	m.Switch(th)
+	m.Save()
+	if th.Depth() != 1 {
+		t.Errorf("Depth = %d", th.Depth())
+	}
+	for i := 0; i < 5; i++ {
+		m.Save()
+	}
+	if th.SavedWindows() == 0 {
+		t.Error("no windows in memory after deep descent on 4 windows")
+	}
+	if !th.HasWindows() {
+		t.Error("running thread has no windows")
+	}
+}

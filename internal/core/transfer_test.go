@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// newRigConfig is newRig with an explicit machine configuration applied
+// to every real scheme (the oracle ignores it).
+func newRigConfig(t *testing.T, cfg Config, nthreads int) *rig {
+	r := &rig{t: t, cur: -1}
+	r.mgrs = append(r.mgrs, NewReference(Config{Windows: cfg.Windows}))
+	for _, s := range Schemes {
+		r.mgrs = append(r.mgrs, New(s, cfg))
+	}
+	r.threads = make([][]*Thread, len(r.mgrs))
+	for i, m := range r.mgrs {
+		for j := 0; j < nthreads; j++ {
+			r.threads[i] = append(r.threads[i], m.NewThread(j, fmt.Sprintf("t%d", j)))
+		}
+	}
+	r.depth = make([]int, nthreads)
+	r.alive = make([]bool, nthreads)
+	for j := range r.alive {
+		r.alive[j] = true
+	}
+	return r
+}
+
+// TestTransferDepthDifferential re-runs the random differential property
+// with multi-window trap transfers: registers must still match the
+// infinite-window oracle exactly.
+func TestTransferDepthDifferential(t *testing.T) {
+	steps := 1500
+	if testing.Short() {
+		steps = 400
+	}
+	for _, k := range []int{2, 3, 7} {
+		for _, n := range []int{4, 8, 16} {
+			t.Run(fmt.Sprintf("transfer=%d/windows=%d", k, n), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(100*k + n)))
+				r := newRigConfig(t, Config{Windows: n, TrapTransfer: k}, 3)
+				for step := 0; step < steps; step++ {
+					if r.cur < 0 {
+						r.switchTo(rng.Intn(3), false)
+						continue
+					}
+					switch p := rng.Intn(100); {
+					case p < 40:
+						r.save(rng.Int63())
+					case p < 70:
+						if r.depth[r.cur] > 0 {
+							r.restore()
+						} else {
+							r.save(rng.Int63())
+						}
+					case p < 90:
+						r.switchTo(rng.Intn(3), false)
+					default:
+						r.write(1+rng.Intn(31), rng.Uint32())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTransferDepthReducesTraps pins the point of the knob: with
+// transfer depth k, a straight descent of d levels on an n-window file
+// takes about 1/k as many overflow traps, while the number of windows
+// spilled stays the same.
+func TestTransferDepthReducesTraps(t *testing.T) {
+	const n, depth = 8, 64
+	for _, s := range Schemes {
+		base := New(s, Config{Windows: n, TrapTransfer: 1})
+		deep := New(s, Config{Windows: n, TrapTransfer: 4})
+		for _, m := range []Manager{base, deep} {
+			th := m.NewThread(0, "solo")
+			m.Switch(th)
+			for i := 0; i < depth; i++ {
+				m.Save()
+			}
+			if err := m.(Verifier).Verify(); err != nil {
+				t.Fatalf("%v: %v", s, err)
+			}
+		}
+		b, d := base.Counters(), deep.Counters()
+		// Deeper transfers may over-spill by up to k-1 windows on the
+		// last trap (the Tamir/Sequin trade-off), never more.
+		if d.TrapSaves < b.TrapSaves || d.TrapSaves > b.TrapSaves+3 {
+			t.Errorf("%v: transfer=4 spilled %d windows, transfer=1 spilled %d — want equal up to 3 over",
+				s, d.TrapSaves, b.TrapSaves)
+		}
+		if d.OverflowTraps*3 >= b.OverflowTraps {
+			t.Errorf("%v: transfer=4 took %d traps vs %d — expected roughly a quarter",
+				s, d.OverflowTraps, b.OverflowTraps)
+		}
+	}
+}
+
+// TestTransferDepthClamped pins the normalisation rules.
+func TestTransferDepthClamped(t *testing.T) {
+	if got := (Config{Windows: 8, TrapTransfer: 0}).trapTransfer(); got != 1 {
+		t.Errorf("zero transfer = %d, want 1", got)
+	}
+	if got := (Config{Windows: 8, TrapTransfer: -3}).trapTransfer(); got != 1 {
+		t.Errorf("negative transfer = %d, want 1", got)
+	}
+	if got := (Config{Windows: 8, TrapTransfer: 100}).trapTransfer(); got != 6 {
+		t.Errorf("huge transfer = %d, want windows-2 = 6", got)
+	}
+	if got := (Config{Windows: 2, TrapTransfer: 4}).trapTransfer(); got != 1 {
+		t.Errorf("2-window transfer = %d, want 1", got)
+	}
+}
+
+// TestTransferDepthUnderflowUnaffected pins the structural asymmetry:
+// the proposed in-place underflow handler transfers exactly one window
+// per trap regardless of the configured depth, because the restored
+// caller occupies the current slot and deeper frames have nowhere to go.
+func TestTransferDepthUnderflowUnaffected(t *testing.T) {
+	for _, s := range []Scheme{SchemeSNP, SchemeSP} {
+		m := New(s, Config{Windows: 4, TrapTransfer: 3})
+		th := m.NewThread(0, "solo")
+		m.Switch(th)
+		const depth = 12
+		for i := 0; i < depth; i++ {
+			m.Save()
+		}
+		for i := 0; i < depth; i++ {
+			m.Restore()
+		}
+		c := m.Counters()
+		if c.UnderflowTraps != c.TrapRestores {
+			t.Errorf("%v: %d underflow traps moved %d windows; in-place restore must move exactly one each",
+				s, c.UnderflowTraps, c.TrapRestores)
+		}
+		if c.UnderflowTraps == 0 {
+			t.Errorf("%v: no underflow traps in the scenario", s)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactSizes(t *testing.T) {
+	if n := len(Draft()); n != DraftSize {
+		t.Errorf("Draft = %d bytes, want %d", n, DraftSize)
+	}
+	if n := len(MainDict()); n != DictSize {
+		t.Errorf("MainDict = %d bytes, want %d", n, DictSize)
+	}
+	if n := len(ForbiddenDict()); n != DictSize {
+		t.Errorf("ForbiddenDict = %d bytes, want %d", n, DictSize)
+	}
+}
+
+func TestScaledSizesProperty(t *testing.T) {
+	prop := func(raw uint16) bool {
+		size := int(raw)%20000 + 300
+		return len(ScaledDraft(size)) == size &&
+			len(ScaledMainDict(size)) == size &&
+			len(ScaledForbiddenDict(size)) == size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDraftSizePanicsWhenTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny draft did not panic")
+		}
+	}()
+	ScaledDraft(100)
+}
+
+func TestDeterminism(t *testing.T) {
+	if !bytes.Equal(Draft(), Draft()) {
+		t.Error("Draft is nondeterministic")
+	}
+	if !bytes.Equal(MainDict(), MainDict()) {
+		t.Error("MainDict is nondeterministic")
+	}
+	if !bytes.Equal(ForbiddenDict(), ForbiddenDict()) {
+		t.Error("ForbiddenDict is nondeterministic")
+	}
+}
+
+func TestDraftLooksLikeLaTeX(t *testing.T) {
+	d := string(Draft())
+	for _, frag := range []string{`\documentclass`, `\begin{document}`, `\section{`, `\end{document}`, `$`, `%`} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("draft lacks %q", frag)
+		}
+	}
+}
+
+func TestDictionariesWellFormed(t *testing.T) {
+	for name, data := range map[string][]byte{"main": MainDict(), "forbidden": ForbiddenDict()} {
+		lines := bytes.Split(bytes.TrimSuffix(data, []byte{'\n'}), []byte{'\n'})
+		seen := map[string]bool{}
+		words := 0
+		for _, line := range lines {
+			w := string(line)
+			if w == "" {
+				continue
+			}
+			words++
+			if seen[w] {
+				t.Errorf("%s dictionary has duplicate %q", name, w)
+			}
+			seen[w] = true
+			for i := 0; i < len(w); i++ {
+				if w[i] < 'a' || w[i] > 'z' {
+					t.Fatalf("%s dictionary word %q has a non-letter", name, w)
+				}
+			}
+		}
+		if words < 3000 {
+			t.Errorf("%s dictionary has only %d words", name, words)
+		}
+	}
+}
+
+func TestMainDictContainsVocabulary(t *testing.T) {
+	main := string(MainDict())
+	for _, w := range []string{"register", "window", "thread", "the", "spell"} {
+		if !strings.Contains(main, "\n"+w+"\n") && !strings.HasPrefix(main, w+"\n") {
+			t.Errorf("main dictionary lacks %q", w)
+		}
+	}
+}
+
+func TestForbiddenFormsListed(t *testing.T) {
+	forms := ForbiddenForms()
+	if len(forms) != len(derivativeRoots)*len(forbiddenSuffixes) {
+		t.Errorf("ForbiddenForms = %d entries, want %d", len(forms), len(derivativeRoots)*len(forbiddenSuffixes))
+	}
+	forbidden := string(ForbiddenDict())
+	missing := 0
+	for _, f := range forms {
+		if !strings.Contains(forbidden, "\n"+f+"\n") && !strings.HasPrefix(forbidden, f+"\n") {
+			missing++
+		}
+	}
+	// Forms that collide with real vocabulary are deliberately omitted.
+	if missing > len(forms)/10 {
+		t.Errorf("%d of %d forbidden forms missing from the dictionary", missing, len(forms))
+	}
+}
+
+func TestDraftContainsPlantedErrors(t *testing.T) {
+	d := string(Draft())
+	found := 0
+	for _, w := range Misspellings() {
+		if strings.Contains(d, w) {
+			found++
+		}
+	}
+	if found < len(Misspellings())/2 {
+		t.Errorf("only %d of %d planted misspellings appear in the draft", found, len(Misspellings()))
+	}
+	foundDeriv := 0
+	for _, f := range ForbiddenForms() {
+		if strings.Contains(d, f) {
+			foundDeriv++
+		}
+	}
+	if foundDeriv < 10 {
+		t.Errorf("only %d forbidden derivatives appear in the draft", foundDeriv)
+	}
+}
+
+func TestLegalSuffixesStable(t *testing.T) {
+	got := LegalSuffixes()
+	if len(got) != 7 {
+		t.Errorf("LegalSuffixes = %v", got)
+	}
+	got[0] = "mutated"
+	if LegalSuffixes()[0] == "mutated" {
+		t.Error("LegalSuffixes exposes internal state")
+	}
+}

@@ -1,0 +1,21 @@
+package harness
+
+import (
+	"cyclicwin/internal/sched"
+	"cyclicwin/internal/spell"
+)
+
+// spellPipelineAllFlushed builds the spell pipeline with every thread
+// marked for the flushing switch type of Section 4.4, so each suspension
+// writes all resident windows back to memory — the counterfactual the
+// ablation compares against the default in-situ suspension.
+func spellPipelineAllFlushed(k *sched.Kernel, b Behavior, w *workload) *spell.Pipeline {
+	p := spell.New(k, spell.Config{
+		M: b.M, N: b.N,
+		Source: w.source, MainDict: w.main, ForbiddenDict: w.forbidden,
+	})
+	for _, t := range p.Threads() {
+		t.SetFlushOnSwitch(true)
+	}
+	return p
+}

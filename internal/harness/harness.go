@@ -1,0 +1,137 @@
+// Package harness runs the paper's experiments: the program-behaviour
+// characterisation of Table 1, the context-switch cost measurement of
+// Table 2, and the performance sweeps of Figures 11 through 15, plus
+// the ablations of the Section 4 design choices. Each experiment returns
+// structured results and can render itself as a text table; cmd/winsim
+// and the repository benchmarks are thin wrappers around this package.
+package harness
+
+import (
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/corpus"
+	"cyclicwin/internal/sched"
+	"cyclicwin/internal/spell"
+	"cyclicwin/internal/stats"
+)
+
+// Sizes selects the workload scale.
+type Sizes struct {
+	Draft int
+	Dict  int
+}
+
+// FullSizes is the paper's workload: the 40,500-byte draft and 50,001
+// bytes per dictionary.
+var FullSizes = Sizes{Draft: corpus.DraftSize, Dict: corpus.DictSize}
+
+// QuickSizes is a reduced workload for fast iteration and -short test
+// runs; all qualitative shapes survive the scaling.
+var QuickSizes = Sizes{Draft: 8000, Dict: 10001}
+
+// Behavior is one of the six program behaviours of Table 1: a
+// concurrency level (set by the ratio M/N) and a granularity level (set
+// by min(M,N)).
+type Behavior struct {
+	Name        string
+	Concurrency string // "high" or "low"
+	Granularity string // "fine", "medium" or "coarse"
+	M, N        int
+}
+
+// Behaviors are the six evaluated behaviours. High concurrency uses
+// M=N; low concurrency uses M=1024 >> N (derived from Table 1: the
+// dictionary threads T6/T7 suspend 50001, 12501 and 3126 times at high
+// concurrency — M = 1, 4, 16 — and 49 times in every low-concurrency
+// case — M = 1024).
+var Behaviors = []Behavior{
+	{"high-fine", "high", "fine", 1, 1},
+	{"high-medium", "high", "medium", 4, 4},
+	{"high-coarse", "high", "coarse", 16, 16},
+	{"low-fine", "low", "fine", 1024, 1},
+	{"low-medium", "low", "medium", 1024, 4},
+	{"low-coarse", "low", "coarse", 1024, 16},
+}
+
+// BehaviorByName returns the named behaviour.
+func BehaviorByName(name string) (Behavior, bool) {
+	for _, b := range Behaviors {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Behavior{}, false
+}
+
+// WindowCounts is the sweep range of the figures (4 to 32 windows).
+var WindowCounts = []int{4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 28, 32}
+
+// Result is the outcome of one spell-checker run.
+type Result struct {
+	Scheme   core.Scheme
+	Windows  int
+	Policy   sched.Policy
+	Behavior Behavior
+
+	// Cycles is the simulated execution time.
+	Cycles uint64
+	// Counters are the machine-wide event counts.
+	Counters stats.Counters
+	// ThreadSuspensions holds per-thread context-switch counts in
+	// paper order T1..T7.
+	ThreadSuspensions [7]uint64
+	// Misspelled is the number of reported words (an output checksum).
+	Misspelled int
+}
+
+// workload caches generated corpora per size so sweeps do not pay
+// regeneration for every run.
+type workload struct {
+	source, main, forbidden []byte
+}
+
+var workloads = map[Sizes]*workload{}
+
+func loadWorkload(sz Sizes) *workload {
+	if w, ok := workloads[sz]; ok {
+		return w
+	}
+	w := &workload{
+		source:    corpus.ScaledDraft(sz.Draft),
+		main:      corpus.ScaledMainDict(sz.Dict),
+		forbidden: corpus.ScaledForbiddenDict(sz.Dict),
+	}
+	workloads[sz] = w
+	return w
+}
+
+// RunSpell executes the seven-thread spell checker once.
+func RunSpell(scheme core.Scheme, windows int, policy sched.Policy, b Behavior, sz Sizes) Result {
+	return RunSpellConfig(core.Config{Windows: windows}, scheme, policy, b, sz)
+}
+
+// RunSpellConfig is RunSpell with full control over the machine
+// configuration (used by ablations).
+func RunSpellConfig(cfg core.Config, scheme core.Scheme, policy sched.Policy, b Behavior, sz Sizes) Result {
+	w := loadWorkload(sz)
+	mgr := core.New(scheme, cfg)
+	k := sched.NewKernel(mgr, policy)
+	p := spell.New(k, spell.Config{
+		M: b.M, N: b.N,
+		Source: w.source, MainDict: w.main, ForbiddenDict: w.forbidden,
+	})
+	k.Run()
+
+	r := Result{
+		Scheme:   scheme,
+		Windows:  cfg.Windows,
+		Policy:   policy,
+		Behavior: b,
+		Cycles:   mgr.Cycles().Total(),
+		Counters: *mgr.Counters(),
+	}
+	for i, t := range p.Threads() {
+		r.ThreadSuspensions[i] = t.Stats().Suspensions
+	}
+	r.Misspelled = len(p.Misspelled())
+	return r
+}

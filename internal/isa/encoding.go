@@ -1,0 +1,189 @@
+// Package isa implements a SPARC-V8-style subset instruction set and an
+// interpreter for it, wired to the register-window managers of the core
+// package: every save and restore instruction moves through the shared
+// window file, taking real overflow and underflow traps handled by the
+// configured scheme. The paper's algorithms are thereby exercised at the
+// machine-code level, complementing the procedural guest runtime.
+//
+// Simplifications relative to SPARC V8, documented in DESIGN.md: no
+// branch delay slots (control transfers take effect immediately; the
+// cycle model charges as if the slot were filled), no floating point, no
+// ASIs, and traps are limited to window traps plus the Ticc software
+// trap used for halt/yield.
+package isa
+
+import "fmt"
+
+// Instruction word fields, following the SPARC V8 formats.
+const (
+	opCall   = 1 // format 1: CALL disp30
+	opBranch = 0 // format 2: SETHI / Bicc
+	opArith  = 2 // format 3: arithmetic, logical, shift, jmpl, save/restore
+	opMem    = 3 // format 3: loads and stores
+)
+
+// op2 values for format 2.
+const (
+	op2Bicc  = 2
+	op2Sethi = 4
+)
+
+// op3 values for format 3, op=2.
+const (
+	Op3Add     = 0x00
+	Op3And     = 0x01
+	Op3Or      = 0x02
+	Op3Xor     = 0x03
+	Op3Sub     = 0x04
+	Op3AddX    = 0x08 // add with carry
+	Op3SubX    = 0x0c // subtract with carry (borrow)
+	Op3AndCC   = 0x11
+	Op3AddCC   = 0x10
+	Op3OrCC    = 0x12
+	Op3XorCC   = 0x13
+	Op3SubCC   = 0x14
+	Op3AddXCC  = 0x18
+	Op3SubXCC  = 0x1c
+	Op3SMul    = 0x0b
+	Op3SDiv    = 0x0f
+	Op3Sll     = 0x25
+	Op3Srl     = 0x26
+	Op3Sra     = 0x27
+	Op3Jmpl    = 0x38
+	Op3Ticc    = 0x3a
+	Op3Save    = 0x3c
+	Op3Restore = 0x3d
+)
+
+// op3 values for format 3, op=3 (memory).
+const (
+	Op3Ld   = 0x00
+	Op3Ldub = 0x01
+	Op3Lduh = 0x02
+	Op3St   = 0x04
+	Op3Stb  = 0x05
+	Op3Sth  = 0x06
+	Op3Ldsb = 0x09
+	Op3Ldsh = 0x0a
+)
+
+// Branch condition codes (the cond field of Bicc).
+const (
+	CondN   = 0  // never
+	CondE   = 1  // equal (Z)
+	CondLE  = 2  // less or equal (signed)
+	CondL   = 3  // less (signed)
+	CondLEU = 4  // less or equal (unsigned)
+	CondCS  = 5  // carry set (unsigned less)
+	CondNeg = 6  // negative
+	CondVS  = 7  // overflow set
+	CondA   = 8  // always
+	CondNE  = 9  // not equal
+	CondG   = 10 // greater (signed)
+	CondGE  = 11 // greater or equal (signed)
+	CondGU  = 12 // greater (unsigned)
+	CondCC  = 13 // carry clear (unsigned greater or equal)
+	CondPos = 14 // positive
+	CondVC  = 15 // overflow clear
+)
+
+// Software trap numbers used with the ta (trap always) instruction.
+const (
+	TrapHalt  = 0 // stop the processor / terminate the thread
+	TrapYield = 1 // yield to the scheduler (multi-threaded programs)
+	TrapPutc  = 2 // write the low byte of %o0 to the console
+)
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op     int
+	Op2    int
+	Op3    int
+	Rd     int
+	Rs1    int
+	Rs2    int
+	Imm    bool  // use Simm13 instead of Rs2
+	Simm13 int32 // sign-extended 13-bit immediate
+	Cond   int
+	Disp   int32  // branch/call displacement in instructions
+	Imm22  uint32 // sethi immediate
+}
+
+// EncodeArith builds a format-3 register-register instruction.
+func EncodeArith(op3, rd, rs1, rs2 int) uint32 {
+	return uint32(opArith)<<30 | uint32(rd&31)<<25 | uint32(op3&0x3f)<<19 | uint32(rs1&31)<<14 | uint32(rs2&31)
+}
+
+// EncodeArithImm builds a format-3 register-immediate instruction.
+func EncodeArithImm(op3, rd, rs1 int, imm int32) uint32 {
+	if imm < -4096 || imm > 4095 {
+		panic(fmt.Sprintf("isa: immediate %d does not fit in simm13", imm))
+	}
+	return uint32(opArith)<<30 | uint32(rd&31)<<25 | uint32(op3&0x3f)<<19 | uint32(rs1&31)<<14 |
+		1<<13 | uint32(uint32(imm)&0x1fff)
+}
+
+// EncodeMem builds a load or store; address is rs1+rs2 or rs1+simm13.
+func EncodeMem(op3, rd, rs1, rs2 int) uint32 {
+	return uint32(opMem)<<30 | uint32(rd&31)<<25 | uint32(op3&0x3f)<<19 | uint32(rs1&31)<<14 | uint32(rs2&31)
+}
+
+// EncodeMemImm builds a load or store with an immediate offset.
+func EncodeMemImm(op3, rd, rs1 int, imm int32) uint32 {
+	if imm < -4096 || imm > 4095 {
+		panic(fmt.Sprintf("isa: immediate %d does not fit in simm13", imm))
+	}
+	return uint32(opMem)<<30 | uint32(rd&31)<<25 | uint32(op3&0x3f)<<19 | uint32(rs1&31)<<14 |
+		1<<13 | uint32(uint32(imm)&0x1fff)
+}
+
+// EncodeSethi builds sethi %hi(value), rd.
+func EncodeSethi(rd int, imm22 uint32) uint32 {
+	return uint32(opBranch)<<30 | uint32(rd&31)<<25 | uint32(op2Sethi)<<22 | (imm22 & 0x3fffff)
+}
+
+// EncodeBranch builds a Bicc with a displacement counted in
+// instructions.
+func EncodeBranch(cond int, disp int32) uint32 {
+	return uint32(opBranch)<<30 | uint32(cond&0xf)<<25 | uint32(op2Bicc)<<22 | uint32(uint32(disp)&0x3fffff)
+}
+
+// EncodeCall builds a call with a displacement counted in instructions.
+func EncodeCall(disp int32) uint32 {
+	return uint32(opCall)<<30 | uint32(uint32(disp)&0x3fffffff)
+}
+
+// Decode splits an instruction word into fields.
+func Decode(w uint32) Instr {
+	var in Instr
+	in.Op = int(w >> 30)
+	switch in.Op {
+	case opCall:
+		in.Disp = signExtend(w&0x3fffffff, 30)
+	case opBranch:
+		in.Op2 = int(w >> 22 & 7)
+		if in.Op2 == op2Sethi {
+			in.Rd = int(w >> 25 & 31)
+			in.Imm22 = w & 0x3fffff
+		} else {
+			in.Cond = int(w >> 25 & 0xf)
+			in.Disp = signExtend(w&0x3fffff, 22)
+		}
+	default: // opArith, opMem
+		in.Rd = int(w >> 25 & 31)
+		in.Op3 = int(w >> 19 & 0x3f)
+		in.Rs1 = int(w >> 14 & 31)
+		in.Imm = w>>13&1 == 1
+		if in.Imm {
+			in.Simm13 = signExtend(w&0x1fff, 13)
+		} else {
+			in.Rs2 = int(w & 31)
+		}
+	}
+	return in
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}

@@ -1,0 +1,44 @@
+package isa
+
+import (
+	"testing"
+
+	"cyclicwin/internal/core"
+)
+
+// FuzzStep executes arbitrary instruction words: the CPU must either
+// execute them or return an error — never panic — whatever the window
+// state. The program counter is re-pinned each step so the fuzzed words
+// are what actually runs.
+func FuzzStep(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(EncodeArithImm(Op3Save, 14, 14, -96))
+	f.Add(EncodeArith(Op3Restore, 0, 0, 0))
+	f.Add(EncodeArithImm(Op3Ticc, 0, 0, 0))
+	f.Add(EncodeArithImm(Op3Ticc, 0, 0, 99))
+	f.Add(EncodeCall(-100))
+	f.Add(EncodeBranch(CondNE, 1<<20))
+	f.Add(EncodeMemImm(Op3Ld, 9, 0, 2))
+	f.Add(EncodeArith(Op3SDiv, 8, 8, 0))
+	f.Add(uint32(0xffffffff))
+	f.Add(uint32(0x81e80000))
+	f.Fuzz(func(t *testing.T, word uint32) {
+		for _, s := range core.Schemes {
+			m := NewMachine(s, 4)
+			th := m.Mgr.NewThread(0, "fuzz")
+			m.Mgr.Switch(th)
+			cpu := NewCPU(m.Mgr, m.Mem)
+			// Execute the word a few times from different depths.
+			m.Mem.Store32(0x1000, word)
+			for i := 0; i < 3; i++ {
+				cpu.SetPC(0x1000)
+				if _, err := cpu.Step(); err != nil {
+					break
+				}
+				if cpu.Halted() {
+					break
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// Package mem provides the byte-addressed simulated memory used by the
+// register-window machine: window save areas, guest thread stacks, and
+// data for the ISA interpreter. The memory is sparse and paged, and, as
+// on SPARC, big-endian.
+package mem
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged, big-endian byte-addressed memory. The zero
+// value is ready to use.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32) *[pageSize]byte {
+	if m.pages == nil {
+		m.pages = make(map[uint32]*[pageSize]byte)
+	}
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Load8 reads the byte at addr; untouched memory reads as zero.
+func (m *Memory) Load8(addr uint32) byte {
+	if m.pages == nil {
+		return 0
+	}
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Store8 writes one byte at addr.
+func (m *Memory) Store8(addr uint32, v byte) {
+	m.page(addr)[addr&pageMask] = v
+}
+
+// Load32 reads a big-endian 32-bit word at addr. The address need not be
+// aligned; the ISA layer enforces alignment before calling.
+func (m *Memory) Load32(addr uint32) uint32 {
+	return uint32(m.Load8(addr))<<24 | uint32(m.Load8(addr+1))<<16 |
+		uint32(m.Load8(addr+2))<<8 | uint32(m.Load8(addr+3))
+}
+
+// Store32 writes a big-endian 32-bit word at addr.
+func (m *Memory) Store32(addr uint32, v uint32) {
+	m.Store8(addr, byte(v>>24))
+	m.Store8(addr+1, byte(v>>16))
+	m.Store8(addr+2, byte(v>>8))
+	m.Store8(addr+3, byte(v))
+}
+
+// StoreBytes copies b into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint32, b []byte) {
+	for i, c := range b {
+		m.Store8(addr+uint32(i), c)
+	}
+}
+
+// LoadBytes reads n bytes starting at addr.
+func (m *Memory) LoadBytes(addr uint32, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = m.Load8(addr + uint32(i))
+	}
+	return b
+}
+
+// PagesTouched reports how many distinct pages have been materialised.
+func (m *Memory) PagesTouched() int { return len(m.pages) }
+
+// StackAllocator hands out disjoint, downward-growing stack regions for
+// guest threads, mirroring how the multi-tasking monitor lays out thread
+// stacks.
+type StackAllocator struct {
+	next uint32
+	size uint32
+}
+
+// NewStackAllocator returns an allocator that places stacks of the given
+// size below top, one after another.
+func NewStackAllocator(top, size uint32) *StackAllocator {
+	return &StackAllocator{next: top, size: size}
+}
+
+// Alloc returns the initial stack pointer for a new thread stack; the
+// region [sp-size, sp) belongs to that thread.
+func (a *StackAllocator) Alloc() uint32 {
+	sp := a.next
+	a.next -= a.size
+	return sp
+}

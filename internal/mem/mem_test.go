@@ -1,0 +1,73 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if got := m.Load8(100); got != 0 {
+		t.Errorf("untouched byte = %d, want 0", got)
+	}
+	m.Store8(100, 42)
+	if got := m.Load8(100); got != 42 {
+		t.Errorf("byte = %d, want 42", got)
+	}
+}
+
+func TestBigEndianWord(t *testing.T) {
+	m := New()
+	m.Store32(0x1000, 0x11223344)
+	want := []byte{0x11, 0x22, 0x33, 0x44}
+	if got := m.LoadBytes(0x1000, 4); !bytes.Equal(got, want) {
+		t.Errorf("bytes = %x, want %x", got, want)
+	}
+	if got := m.Load32(0x1000); got != 0x11223344 {
+		t.Errorf("word = %#x, want 0x11223344", got)
+	}
+}
+
+func TestWordCrossingPageBoundary(t *testing.T) {
+	m := New()
+	addr := uint32(0x1ffe) // straddles the 4 KiB page boundary
+	m.Store32(addr, 0xdeadbeef)
+	if got := m.Load32(addr); got != 0xdeadbeef {
+		t.Errorf("cross-page word = %#x, want 0xdeadbeef", got)
+	}
+	if m.PagesTouched() != 2 {
+		t.Errorf("PagesTouched = %d, want 2", m.PagesTouched())
+	}
+}
+
+func TestStoreLoadBytesRoundTrip(t *testing.T) {
+	m := New()
+	data := []byte("the quick brown fox")
+	m.StoreBytes(0x8000, data)
+	if got := m.LoadBytes(0x8000, len(data)); !bytes.Equal(got, data) {
+		t.Errorf("round trip = %q, want %q", got, data)
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	m := New()
+	prop := func(addr, v uint32) bool {
+		addr &^= 3
+		m.Store32(addr, v)
+		return m.Load32(addr) == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackAllocatorDisjoint(t *testing.T) {
+	a := NewStackAllocator(0x100000, 0x1000)
+	s1 := a.Alloc()
+	s2 := a.Alloc()
+	s3 := a.Alloc()
+	if s1 != 0x100000 || s2 != 0xff000 || s3 != 0xfe000 {
+		t.Errorf("allocations = %#x %#x %#x", s1, s2, s3)
+	}
+}

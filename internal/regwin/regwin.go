@@ -1,0 +1,237 @@
+// Package regwin models a SPARC-style cyclic overlapping register-window
+// file: the Current Window Pointer (CWP), the Window Invalid Mask (WIM),
+// the in/local/out register partitions with the out registers of each
+// window aliased to the in registers of the window "above" it, and the
+// save/restore window motions with their overflow/underflow traps.
+//
+// Terminology follows the paper: save decrements CWP, window i-1 is
+// "above" window i, and a "window" transferred by a trap handler means
+// the 16 in+local registers (the outs are handled as the ins of the
+// window above).
+package regwin
+
+import "fmt"
+
+// Architectural sizes.
+const (
+	NGlobals    = 8  // %g0-%g7; %g0 reads as zero
+	NPart       = 8  // registers per in/local/out partition
+	WindowWords = 16 // in + local registers spilled/filled per window
+
+	// MinWindows and MaxWindows bound the implemented window counts,
+	// matching SPARC V8 (2..32) and the paper's evaluation range (4..32).
+	MinWindows = 2
+	MaxWindows = 32
+)
+
+// Window-relative register numbers, SPARC V8 numbering.
+const (
+	RegG0 = 0  // globals r0..r7
+	RegO0 = 8  // outs    r8..r15
+	RegL0 = 16 // locals  r16..r23
+	RegI0 = 24 // ins     r24..r31
+
+	RegSP = 14 // %o6, stack pointer
+	RegFP = 30 // %i6, frame pointer
+	RegO7 = 15 // call writes return address here
+	RegI7 = 31 // return address seen by the callee
+)
+
+// File is the physical register file. The out registers are not stored:
+// Outs(w) aliases Ins(Above(w)), exactly as in the overlapped hardware.
+type File struct {
+	n       int
+	cwp     int
+	wim     uint32
+	globals [NGlobals]uint32
+	ins     [][NPart]uint32
+	locals  [][NPart]uint32
+}
+
+// NewFile returns a register file with n windows, CWP 0 and an empty WIM.
+// It panics if n is outside [MinWindows, MaxWindows]; window counts are
+// configuration, not data, so a bad count is a programming error.
+func NewFile(n int) *File {
+	if n < MinWindows || n > MaxWindows {
+		panic(fmt.Sprintf("regwin: window count %d outside [%d,%d]", n, MinWindows, MaxWindows))
+	}
+	return &File{
+		n:      n,
+		ins:    make([][NPart]uint32, n),
+		locals: make([][NPart]uint32, n),
+	}
+}
+
+// NWindows reports the number of windows in the file.
+func (f *File) NWindows() int { return f.n }
+
+// CWP reports the current window pointer.
+func (f *File) CWP() int { return f.cwp }
+
+// SetCWP sets the current window pointer to window w.
+func (f *File) SetCWP(w int) { f.cwp = f.norm(w) }
+
+// WIM reports the window invalid mask; bit i set means window i is
+// reserved (a save or restore into it traps).
+func (f *File) WIM() uint32 { return f.wim }
+
+// SetWIM replaces the whole window invalid mask.
+func (f *File) SetWIM(m uint32) { f.wim = m & (1<<uint(f.n) - 1) }
+
+// Invalid reports whether window w is marked in the WIM.
+func (f *File) Invalid(w int) bool { return f.wim&(1<<uint(f.norm(w))) != 0 }
+
+// SetInvalid sets or clears the WIM bit of window w.
+func (f *File) SetInvalid(w int, invalid bool) {
+	bit := uint32(1) << uint(f.norm(w))
+	if invalid {
+		f.wim |= bit
+	} else {
+		f.wim &^= bit
+	}
+}
+
+// InvalidCount reports how many windows are currently marked invalid.
+func (f *File) InvalidCount() int {
+	c := 0
+	for w := 0; w < f.n; w++ {
+		if f.Invalid(w) {
+			c++
+		}
+	}
+	return c
+}
+
+// Above returns the window above w (the one a save moves into): w-1 mod n.
+func (f *File) Above(w int) int { return f.norm(w - 1) }
+
+// Below returns the window below w (the one a restore moves into): w+1 mod n.
+func (f *File) Below(w int) int { return f.norm(w + 1) }
+
+// Distance returns how many windows lie strictly between w going upward
+// (through Above) until reaching v; Distance(w, w) is 0.
+func (f *File) Distance(w, v int) int {
+	return ((w-v)%f.n + f.n) % f.n
+}
+
+func (f *File) norm(w int) int {
+	return (w%f.n + f.n) % f.n
+}
+
+// Reg reads register r (0..31) of the current window. %g0 reads as zero.
+func (f *File) Reg(r int) uint32 { return f.RegW(f.cwp, r) }
+
+// SetReg writes register r of the current window. Writes to %g0 are
+// discarded, as on hardware.
+func (f *File) SetReg(r int, v uint32) { f.SetRegW(f.cwp, r, v) }
+
+// RegW reads register r (0..31) as seen from window w.
+func (f *File) RegW(w, r int) uint32 {
+	w = f.norm(w)
+	switch {
+	case r == 0:
+		return 0
+	case r < RegO0:
+		return f.globals[r]
+	case r < RegL0:
+		return f.ins[f.Above(w)][r-RegO0] // outs alias the ins above
+	case r < RegI0:
+		return f.locals[w][r-RegL0]
+	case r < RegI0+NPart:
+		return f.ins[w][r-RegI0]
+	default:
+		panic(fmt.Sprintf("regwin: register %d out of range", r))
+	}
+}
+
+// SetRegW writes register r as seen from window w.
+func (f *File) SetRegW(w, r int, v uint32) {
+	w = f.norm(w)
+	switch {
+	case r == 0:
+		// %g0 is hardwired to zero.
+	case r < RegO0:
+		f.globals[r] = v
+	case r < RegL0:
+		f.ins[f.Above(w)][r-RegO0] = v
+	case r < RegI0:
+		f.locals[w][r-RegL0] = v
+	case r < RegI0+NPart:
+		f.ins[w][r-RegI0] = v
+	default:
+		panic(fmt.Sprintf("regwin: register %d out of range", r))
+	}
+}
+
+// Ins returns the in registers of window w as a mutable slice view.
+func (f *File) Ins(w int) []uint32 { return f.ins[f.norm(w)][:] }
+
+// Locals returns the local registers of window w as a mutable slice view.
+func (f *File) Locals(w int) []uint32 { return f.locals[f.norm(w)][:] }
+
+// Outs returns the out registers of window w, i.e. the ins of the window
+// above it.
+func (f *File) Outs(w int) []uint32 { return f.Ins(f.Above(w)) }
+
+// SaveWouldTrap reports whether a save from the current window would hit
+// a reserved window and raise a window-overflow trap.
+func (f *File) SaveWouldTrap() bool { return f.Invalid(f.Above(f.cwp)) }
+
+// RestoreWouldTrap reports whether a restore from the current window
+// would hit a reserved window and raise a window-underflow trap.
+func (f *File) RestoreWouldTrap() bool { return f.Invalid(f.Below(f.cwp)) }
+
+// Save performs the CWP motion of a save instruction. It returns false
+// without moving if the destination window is reserved (the overflow
+// trap case); trap handling is the manager's job.
+func (f *File) Save() bool {
+	if f.SaveWouldTrap() {
+		return false
+	}
+	f.cwp = f.Above(f.cwp)
+	return true
+}
+
+// Restore performs the CWP motion of a restore instruction. It returns
+// false without moving if the destination window is reserved (the
+// underflow trap case).
+func (f *File) Restore() bool {
+	if f.RestoreWouldTrap() {
+		return false
+	}
+	f.cwp = f.Below(f.cwp)
+	return true
+}
+
+// SpillWindow copies the 16 in+local registers of window w into dst,
+// ins first, as the overflow handlers store them.
+func (f *File) SpillWindow(w int, dst *[WindowWords]uint32) {
+	w = f.norm(w)
+	copy(dst[:NPart], f.ins[w][:])
+	copy(dst[NPart:], f.locals[w][:])
+}
+
+// FillWindow loads the 16 in+local registers of window w from src.
+func (f *File) FillWindow(w int, src *[WindowWords]uint32) {
+	w = f.norm(w)
+	copy(f.ins[w][:], src[:NPart])
+	copy(f.locals[w][:], src[NPart:])
+}
+
+// CopyInsToOuts copies the in registers of window w onto its out
+// registers (the ins of the window above). This is the extra step of the
+// proposed underflow handler before the caller's window is restored in
+// place (Section 3.2 of the paper).
+func (f *File) CopyInsToOuts(w int) {
+	w = f.norm(w)
+	f.ins[f.Above(w)] = f.ins[w]
+}
+
+// ClearWindow zeroes the in and local registers of window w. Managers
+// use it to scrub freed windows so tests catch stale-data leaks between
+// threads.
+func (f *File) ClearWindow(w int) {
+	w = f.norm(w)
+	f.ins[w] = [NPart]uint32{}
+	f.locals[w] = [NPart]uint32{}
+}

@@ -1,0 +1,236 @@
+package regwin
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFilePanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, 33, 100} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFile(%d) did not panic", n)
+				}
+			}()
+			NewFile(n)
+		}()
+	}
+}
+
+func TestAboveBelowWrap(t *testing.T) {
+	f := NewFile(8)
+	if got := f.Above(0); got != 7 {
+		t.Errorf("Above(0) = %d, want 7", got)
+	}
+	if got := f.Below(7); got != 0 {
+		t.Errorf("Below(7) = %d, want 0", got)
+	}
+	if got := f.Above(5); got != 4 {
+		t.Errorf("Above(5) = %d, want 4", got)
+	}
+	if got := f.Below(5); got != 6 {
+		t.Errorf("Below(5) = %d, want 6", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	f := NewFile(8)
+	cases := []struct{ from, to, want int }{
+		{0, 0, 0},
+		{5, 3, 2}, // walking upward (Above) from 5 reaches 3 in 2 steps
+		{3, 5, 6},
+		{0, 7, 1},
+		{7, 0, 7},
+	}
+	for _, c := range cases {
+		if got := f.Distance(c.from, c.to); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestOutInAliasing(t *testing.T) {
+	f := NewFile(4)
+	f.SetCWP(2)
+	// Writing the outs of window 2 must be visible as the ins of window 1.
+	for i := 0; i < NPart; i++ {
+		f.SetReg(RegO0+i, uint32(100+i))
+	}
+	for i := 0; i < NPart; i++ {
+		if got := f.RegW(1, RegI0+i); got != uint32(100+i) {
+			t.Errorf("ins[1][%d] = %d, want %d", i, got, 100+i)
+		}
+	}
+	// And after a save (CWP 2 -> 1) the callee reads them as its ins.
+	if !f.Save() {
+		t.Fatal("save trapped with empty WIM")
+	}
+	if f.CWP() != 1 {
+		t.Fatalf("CWP = %d after save, want 1", f.CWP())
+	}
+	for i := 0; i < NPart; i++ {
+		if got := f.Reg(RegI0 + i); got != uint32(100+i) {
+			t.Errorf("callee in %d = %d, want %d", i, got, 100+i)
+		}
+	}
+}
+
+func TestG0HardwiredZero(t *testing.T) {
+	f := NewFile(4)
+	f.SetReg(0, 12345)
+	if got := f.Reg(0); got != 0 {
+		t.Errorf("%%g0 = %d, want 0", got)
+	}
+}
+
+func TestGlobalsSharedAcrossWindows(t *testing.T) {
+	f := NewFile(4)
+	f.SetRegW(0, 3, 777)
+	for w := 0; w < 4; w++ {
+		if got := f.RegW(w, 3); got != 777 {
+			t.Errorf("globals[3] from window %d = %d, want 777", w, got)
+		}
+	}
+}
+
+func TestLocalsPrivatePerWindow(t *testing.T) {
+	f := NewFile(4)
+	for w := 0; w < 4; w++ {
+		f.SetRegW(w, RegL0, uint32(w+1))
+	}
+	for w := 0; w < 4; w++ {
+		if got := f.RegW(w, RegL0); got != uint32(w+1) {
+			t.Errorf("locals[%d][0] = %d, want %d", w, got, w+1)
+		}
+	}
+}
+
+func TestWIMTraps(t *testing.T) {
+	f := NewFile(4)
+	f.SetCWP(2)
+	f.SetInvalid(1, true)
+	if !f.SaveWouldTrap() {
+		t.Error("save into invalid window 1 should trap")
+	}
+	if f.Save() {
+		t.Error("Save succeeded into invalid window")
+	}
+	if f.CWP() != 2 {
+		t.Errorf("CWP moved to %d on trapped save", f.CWP())
+	}
+	f.SetInvalid(1, false)
+	f.SetInvalid(3, true)
+	if !f.RestoreWouldTrap() {
+		t.Error("restore into invalid window 3 should trap")
+	}
+	if f.Restore() {
+		t.Error("Restore succeeded into invalid window")
+	}
+	if !f.Save() {
+		t.Error("Save trapped with window 1 valid")
+	}
+}
+
+func TestSetWIMMasksToWindowCount(t *testing.T) {
+	f := NewFile(4)
+	f.SetWIM(0xffffffff)
+	if f.WIM() != 0xf {
+		t.Errorf("WIM = %#x, want 0xf", f.WIM())
+	}
+	if f.InvalidCount() != 4 {
+		t.Errorf("InvalidCount = %d, want 4", f.InvalidCount())
+	}
+}
+
+func TestSpillFillRoundTrip(t *testing.T) {
+	f := NewFile(5)
+	for i := 0; i < NPart; i++ {
+		f.SetRegW(3, RegI0+i, uint32(10+i))
+		f.SetRegW(3, RegL0+i, uint32(20+i))
+	}
+	var buf [WindowWords]uint32
+	f.SpillWindow(3, &buf)
+	f.ClearWindow(3)
+	for i := 0; i < NPart; i++ {
+		if f.RegW(3, RegI0+i) != 0 || f.RegW(3, RegL0+i) != 0 {
+			t.Fatal("ClearWindow left data behind")
+		}
+	}
+	f.FillWindow(3, &buf)
+	for i := 0; i < NPart; i++ {
+		if got := f.RegW(3, RegI0+i); got != uint32(10+i) {
+			t.Errorf("in[%d] = %d after round trip, want %d", i, got, 10+i)
+		}
+		if got := f.RegW(3, RegL0+i); got != uint32(20+i) {
+			t.Errorf("local[%d] = %d after round trip, want %d", i, got, 20+i)
+		}
+	}
+}
+
+func TestCopyInsToOuts(t *testing.T) {
+	f := NewFile(4)
+	for i := 0; i < NPart; i++ {
+		f.SetRegW(2, RegI0+i, uint32(50+i))
+	}
+	f.CopyInsToOuts(2)
+	for i := 0; i < NPart; i++ {
+		if got := f.RegW(2, RegO0+i); got != uint32(50+i) {
+			t.Errorf("out[%d] = %d after CopyInsToOuts, want %d", i, got, 50+i)
+		}
+		// Physically the ins of the window above.
+		if got := f.RegW(1, RegI0+i); got != uint32(50+i) {
+			t.Errorf("ins[1][%d] = %d, want %d", i, got, 50+i)
+		}
+	}
+}
+
+func TestSaveRestoreFullCycle(t *testing.T) {
+	// With an empty WIM, n saves walk the CWP around the whole file.
+	f := NewFile(6)
+	start := f.CWP()
+	for i := 0; i < 6; i++ {
+		if !f.Save() {
+			t.Fatal("save trapped with empty WIM")
+		}
+	}
+	if f.CWP() != start {
+		t.Errorf("CWP = %d after full cycle, want %d", f.CWP(), start)
+	}
+	for i := 0; i < 6; i++ {
+		if !f.Restore() {
+			t.Fatal("restore trapped with empty WIM")
+		}
+	}
+	if f.CWP() != start {
+		t.Errorf("CWP = %d after restores, want %d", f.CWP(), start)
+	}
+}
+
+func TestDistanceProperty(t *testing.T) {
+	f := NewFile(16)
+	// Distance(w, Above^k(w)) == k mod n for any k.
+	prop := func(w, k uint8) bool {
+		start := int(w) % 16
+		steps := int(k) % 16
+		v := start
+		for i := 0; i < steps; i++ {
+			v = f.Above(v)
+		}
+		return f.Distance(start, v) == steps
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterRangePanics(t *testing.T) {
+	f := NewFile(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("RegW(32) did not panic")
+		}
+	}()
+	f.RegW(0, 32)
+}

@@ -1,0 +1,332 @@
+// Package sched provides the non-preemptive multi-threading kernel the
+// paper's evaluation runs on: guest threads as coroutines, a FIFO ready
+// queue, the working-set scheduling policy of Section 4.6, and blocking
+// primitives used by the stream package. All window motion is delegated
+// to a core.Manager, so the same workload runs unchanged under the NS,
+// SNP and SP schemes.
+//
+// Guest threads are goroutines, but exactly one of them (or the kernel)
+// runs at any time, handing a single control token back and forth, so
+// execution is fully deterministic.
+package sched
+
+import (
+	"fmt"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/stats"
+)
+
+// Policy selects how awoken threads are enqueued.
+type Policy int
+
+const (
+	// FIFO enqueues every thread at the back of the ready queue.
+	FIFO Policy = iota
+	// WorkingSet gives priority to threads whose windows are still
+	// resident: an awoken thread with windows goes to the front of the
+	// ready queue, one without goes to the back (Section 4.6). The
+	// basic scheduler remains FIFO; selection happens only at wake-up,
+	// so no overhead is added to context switching.
+	WorkingSet
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	if p == WorkingSet {
+		return "WS"
+	}
+	return "FIFO"
+}
+
+// State is a thread's scheduling state.
+type State int
+
+const (
+	// Ready means the thread is in the ready queue.
+	Ready State = iota
+	// Running means the thread holds the control token.
+	Running
+	// Blocked means the thread waits on a condition (stream space/data).
+	Blocked
+	// Done means the thread's body returned.
+	Done
+)
+
+// TCB is the kernel's view of one guest thread.
+type TCB struct {
+	Core *core.Thread
+	name string
+	body func(*Env)
+
+	state  State
+	resume chan struct{}
+	env    *Env
+
+	// joiners are threads blocked in Join on this one.
+	joiners []*TCB
+
+	// flushOnSwitch requests the Section 4.4 flushing switch when this
+	// thread is suspended (for threads known to sleep long).
+	flushOnSwitch bool
+}
+
+// Name returns the thread's name.
+func (t *TCB) Name() string { return t.name }
+
+// State returns the thread's scheduling state.
+func (t *TCB) State() State { return t.state }
+
+// Stats returns the thread's event counters.
+func (t *TCB) Stats() *stats.ThreadCounters { return &t.Core.Stats }
+
+// SetFlushOnSwitch marks the thread to be suspended with the flushing
+// switch type (Section 4.4).
+func (t *TCB) SetFlushOnSwitch(f bool) { t.flushOnSwitch = f }
+
+// Kernel is the non-preemptive scheduler.
+type Kernel struct {
+	mgr     core.Manager
+	policy  Policy
+	threads []*TCB
+	ready   []*TCB
+	current *TCB
+	yield   chan struct{}
+	nextID  int
+	running bool
+
+	// quantum, when non-zero, enables preemptive time-slicing — an
+	// extension beyond the paper, whose evaluation is entirely
+	// non-preemptive. A thread that has run for at least quantum cycles
+	// is preempted at its next safe point (a procedure call, a Work
+	// charge, or a stream operation) if another thread is ready.
+	quantum    uint64
+	dispatched uint64 // clock reading at the last dispatch
+	// Preemptions counts quantum-expiry switches.
+	Preemptions uint64
+}
+
+// NewKernel returns a kernel scheduling threads onto mgr's windows under
+// the given policy.
+func NewKernel(mgr core.Manager, policy Policy) *Kernel {
+	return &Kernel{mgr: mgr, policy: policy, yield: make(chan struct{})}
+}
+
+// Manager returns the window manager the kernel drives.
+func (k *Kernel) Manager() core.Manager { return k.mgr }
+
+// Policy returns the scheduling policy.
+func (k *Kernel) Policy() Policy { return k.policy }
+
+// Cycles returns the shared cycle counter.
+func (k *Kernel) Cycles() *cycles.Counter { return k.mgr.Cycles() }
+
+// Threads returns all spawned threads in spawn order.
+func (k *Kernel) Threads() []*TCB { return k.threads }
+
+// Spawn creates a guest thread. Threads spawned before Run start in
+// spawn order; threads spawned by running guests are enqueued at the
+// back of the ready queue.
+func (k *Kernel) Spawn(name string, body func(*Env)) *TCB {
+	t := &TCB{
+		Core:   k.mgr.NewThread(k.nextID, name),
+		name:   name,
+		body:   body,
+		state:  Ready,
+		resume: make(chan struct{}),
+	}
+	k.nextID++
+	t.env = &Env{k: k, tcb: t}
+	k.threads = append(k.threads, t)
+	k.ready = append(k.ready, t)
+	go func() {
+		<-t.resume
+		t.body(t.env)
+		// The body returned: terminate the thread while it is still the
+		// manager's running thread, then hand the token back for good.
+		k.mgr.Exit()
+		t.state = Done
+		for _, j := range t.joiners {
+			k.Wake(j)
+		}
+		t.joiners = nil
+		k.current = nil
+		k.yield <- struct{}{}
+	}()
+	return t
+}
+
+// Run dispatches threads until all are done. It panics on deadlock
+// (blocked threads but an empty ready queue), which indicates a bug in
+// the guest program.
+func (k *Kernel) Run() {
+	if k.running {
+		panic("sched: Run called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for {
+		t := k.pop()
+		if t == nil {
+			for _, th := range k.threads {
+				if th.state == Blocked {
+					panic(fmt.Sprintf("sched: deadlock: %s blocked with empty ready queue", th.name))
+				}
+			}
+			return // all done
+		}
+		if t != k.current {
+			if out := k.current; out != nil && out.flushOnSwitch {
+				k.mgr.SwitchFlush(t.Core)
+			} else {
+				k.mgr.Switch(t.Core)
+			}
+		}
+		k.current = t
+		t.state = Running
+		k.dispatched = k.mgr.Cycles().Total()
+		t.resume <- struct{}{}
+		<-k.yield
+	}
+}
+
+func (k *Kernel) pop() *TCB {
+	if len(k.ready) == 0 {
+		return nil
+	}
+	t := k.ready[0]
+	copy(k.ready, k.ready[1:])
+	k.ready = k.ready[:len(k.ready)-1]
+	return t
+}
+
+// Wake moves a blocked thread to the ready queue. Under the working-set
+// policy a thread whose windows are still resident is enqueued at the
+// front, so the set of threads whose windows fit in the file keeps
+// running before anyone evicts them.
+func (k *Kernel) Wake(t *TCB) {
+	if t.state != Blocked {
+		return
+	}
+	t.state = Ready
+	if k.policy == WorkingSet && k.mgr.Resident(t.Core) {
+		k.ready = append([]*TCB{t}, k.ready...)
+	} else {
+		k.ready = append(k.ready, t)
+	}
+}
+
+// ReadyLen reports the current ready-queue length (the paper's parallel
+// slackness at this instant).
+func (k *Kernel) ReadyLen() int { return len(k.ready) }
+
+// blockCurrent suspends the running thread (caller must be the guest
+// goroutine holding the token) until somebody wakes it.
+func (k *Kernel) blockCurrent() {
+	t := k.current
+	t.state = Blocked
+	k.yield <- struct{}{}
+	<-t.resume
+}
+
+// yieldCurrent re-enqueues the running thread at the back and lets the
+// scheduler pick the next one.
+func (k *Kernel) yieldCurrent() {
+	t := k.current
+	t.state = Ready
+	k.ready = append(k.ready, t)
+	k.yield <- struct{}{}
+	<-t.resume
+}
+
+// SetQuantum enables preemptive time-slicing with the given quantum in
+// cycles (0 restores the paper's non-preemptive behaviour).
+func (k *Kernel) SetQuantum(cycles uint64) { k.quantum = cycles }
+
+// maybePreempt yields the running thread if its quantum expired and
+// somebody else is ready. Called from the guest side at safe points.
+func (k *Kernel) maybePreempt() {
+	if k.quantum == 0 || k.current == nil || len(k.ready) == 0 {
+		return
+	}
+	if k.mgr.Cycles().Total()-k.dispatched < k.quantum {
+		return
+	}
+	k.Preemptions++
+	k.yieldCurrent()
+}
+
+// Env is the API guest thread bodies program against. Every procedure
+// call and return goes through the simulated register windows.
+type Env struct {
+	k   *Kernel
+	tcb *TCB
+}
+
+// Kernel returns the kernel, for access to streams and statistics.
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// TCB returns the calling thread's control block.
+func (e *Env) TCB() *TCB { return e.tcb }
+
+// Work charges n cycles of computation to the simulated clock. It is a
+// preemption point when time-slicing is enabled.
+func (e *Env) Work(n uint64) {
+	e.k.mgr.Cycles().Add(n)
+	e.k.maybePreempt()
+}
+
+// Call invokes fn as a procedure: a save instruction allocates a window
+// (taking an overflow trap if needed), fn runs in the new window, and a
+// restore instruction returns (taking an underflow trap if needed). Up
+// to six word arguments are passed in the out registers, appearing to fn
+// as its in registers, exactly as in the SPARC ABI.
+func (e *Env) Call(fn func(*Env), args ...uint32) {
+	if len(args) > 6 {
+		panic("sched: more than 6 register arguments")
+	}
+	e.k.maybePreempt()
+	for i, a := range args {
+		e.k.mgr.SetReg(8+i, a) // %o0..%o5
+	}
+	e.k.mgr.Save()
+	fn(e)
+	e.k.mgr.Restore()
+}
+
+// Arg reads the i-th incoming argument (%i0..%i5) of the current
+// procedure.
+func (e *Env) Arg(i int) uint32 { return e.k.mgr.Reg(24 + i) }
+
+// SetRet places v in the conventional return-value register (%i0), where
+// the caller reads it as %o0 after the return.
+func (e *Env) SetRet(v uint32) { e.k.mgr.SetReg(24, v) }
+
+// Ret reads the return value of the last Call (%o0).
+func (e *Env) Ret() uint32 { return e.k.mgr.Reg(8) }
+
+// Local reads local register %l<i> of the current window.
+func (e *Env) Local(i int) uint32 { return e.k.mgr.Reg(16 + i) }
+
+// SetLocal writes local register %l<i> of the current window.
+func (e *Env) SetLocal(i int, v uint32) { e.k.mgr.SetReg(16+i, v) }
+
+// Yield voluntarily hands the processor to the next ready thread.
+func (e *Env) Yield() { e.k.yieldCurrent() }
+
+// Block suspends the thread until woken; used by synchronisation
+// primitives such as streams.
+func (e *Env) Block() { e.k.blockCurrent() }
+
+// Join blocks until t has finished; it returns immediately if t is
+// already done. Joining the calling thread itself panics.
+func (e *Env) Join(t *TCB) {
+	if t == e.tcb {
+		panic(fmt.Sprintf("sched: %s joining itself", t.name))
+	}
+	for t.state != Done {
+		t.joiners = append(t.joiners, e.tcb)
+		e.Block()
+	}
+}

@@ -1,0 +1,120 @@
+package spell
+
+// Delatex is the streaming tokenizer of the T1 thread: it strips LaTeX
+// markup from a byte stream and produces one lower-cased word at a time,
+// replicating what the paper's lex-generated filter does ("removes LaTeX
+// commands from the input, and makes each line have just one word").
+//
+// Both the threaded pipeline and the single-threaded reference feed the
+// same state machine, so their outputs agree byte for byte.
+type Delatex struct {
+	state   dlState
+	word    []byte
+	cmd     []byte
+	pending []string
+}
+
+type dlState int
+
+const (
+	dlText      dlState = iota
+	dlComment           // after %, until end of line
+	dlCommand           // after \, consuming the command name
+	dlMath              // between $ ... $
+	dlSkipGroup         // skipping the {...} argument of a non-text command
+)
+
+// skipArgCommands are commands whose braced argument is not prose (keys,
+// environment names, package names) and is therefore discarded, as the
+// UNIX delatex filter does. The argument of \section, \emph and the like
+// is kept.
+var skipArgCommands = map[string]bool{
+	"begin": true, "end": true, "cite": true, "ref": true, "label": true,
+	"documentclass": true, "usepackage": true, "bibliography": true,
+	"bibliographystyle": true, "input": true, "include": true,
+}
+
+// Feed consumes one input byte. Use Words to collect any words
+// completed by it.
+func (d *Delatex) Feed(b byte) {
+	switch d.state {
+	case dlComment:
+		if b == '\n' {
+			d.state = dlText
+		}
+		return
+	case dlCommand:
+		if isLetter(b) {
+			d.cmd = append(d.cmd, lower(b))
+			return // still in the command name
+		}
+		skip := skipArgCommands[string(d.cmd)]
+		d.cmd = d.cmd[:0]
+		if skip && b == '{' {
+			d.state = dlSkipGroup
+			return
+		}
+		d.state = dlText
+		// Reprocess the terminating byte as ordinary text.
+		d.Feed(b)
+		return
+	case dlMath:
+		if b == '$' {
+			d.state = dlText
+		}
+		return
+	case dlSkipGroup:
+		if b == '}' {
+			d.state = dlText
+		}
+		return
+	}
+	// dlText
+	switch {
+	case b == '%':
+		d.flush()
+		d.state = dlComment
+	case b == '\\':
+		d.flush()
+		d.state = dlCommand
+	case b == '$':
+		d.flush()
+		d.state = dlMath
+	case isLetter(b):
+		d.word = append(d.word, lower(b))
+	default:
+		d.flush()
+	}
+}
+
+// Close flushes a trailing word at end of input.
+func (d *Delatex) Close() { d.flush() }
+
+// Words returns and clears the words completed since the last call.
+func (d *Delatex) Words() []string {
+	w := d.pending
+	d.pending = nil
+	return w
+}
+
+func (d *Delatex) flush() {
+	if len(d.word) > 0 {
+		d.pending = append(d.pending, string(d.word))
+		d.word = d.word[:0]
+	}
+}
+
+func isLetter(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+func lower(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}
+
+// scanCostPerByte is the modelled work of the tokenizer automaton per
+// input byte.
+const scanCostPerByte = 2

@@ -1,0 +1,90 @@
+package spell
+
+import (
+	"reflect"
+	"testing"
+)
+
+func delatexAll(src string) []string {
+	var d Delatex
+	var out []string
+	for i := 0; i < len(src); i++ {
+		d.Feed(src[i])
+		out = append(out, d.Words()...)
+	}
+	d.Close()
+	return append(out, d.Words()...)
+}
+
+func TestDelatexPlainText(t *testing.T) {
+	got := delatexAll("the quick brown fox.")
+	want := []string{"the", "quick", "brown", "fox"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDelatexStripsCommands(t *testing.T) {
+	got := delatexAll(`\section{register windows} are \emph{fast} here`)
+	want := []string{"register", "windows", "are", "fast", "here"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDelatexStripsComments(t *testing.T) {
+	got := delatexAll("before % this is ignored\nafter")
+	want := []string{"before", "after"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDelatexStripsMath(t *testing.T) {
+	got := delatexAll("cost is $w_{i} + 4$ cycles")
+	want := []string{"cost", "is", "cycles"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDelatexLowercases(t *testing.T) {
+	got := delatexAll("SPARC Register Windows")
+	want := []string{"sparc", "register", "windows"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDelatexCommandTerminatedByPunctuation(t *testing.T) {
+	got := delatexAll(`end\\begin next`)
+	// \\ ends the first command immediately; "begin" follows a
+	// backslash so it is a command name, not a word.
+	want := []string{"end", "next"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDelatexTrailingWordNeedsClose(t *testing.T) {
+	var d Delatex
+	for _, b := range []byte("tail") {
+		d.Feed(b)
+	}
+	if w := d.Words(); len(w) != 0 {
+		t.Fatalf("premature words %v", w)
+	}
+	d.Close()
+	got := d.Words()
+	if !reflect.DeepEqual(got, []string{"tail"}) {
+		t.Errorf("got %v, want [tail]", got)
+	}
+}
+
+func TestDelatexDigitsSplitWords(t *testing.T) {
+	got := delatexAll("win32dows")
+	want := []string{"win", "dows"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}

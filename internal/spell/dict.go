@@ -1,0 +1,120 @@
+// Package spell implements the paper's evaluation workload: a
+// multi-threaded spell checker for LaTeX sources (Section 5.1, Figure
+// 10) with seven threads connected by six cyclic-buffer streams, plus a
+// single-threaded reference implementation used as the output oracle.
+package spell
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Dict is an open-addressing hash set of words, the in-memory form of a
+// dictionary after a spell thread has consumed its dictionary stream.
+// Probing cost is modelled explicitly so lookups charge realistic work.
+type Dict struct {
+	slots []string
+	n     int
+}
+
+// probeCost and probeStep are the cycle charges for a lookup: hashing the
+// word plus a charge per probed slot.
+const (
+	hashCostPerByte = 1
+	probeCost       = 6
+)
+
+// NewDict returns an empty dictionary sized for the expected word count.
+func NewDict(capacity int) *Dict {
+	size := 16
+	for size < capacity*2 {
+		size *= 2
+	}
+	return &Dict{slots: make([]string, size)}
+}
+
+// fnv32 is the FNV-1a hash, deterministic across runs.
+func fnv32(w string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(w); i++ {
+		h ^= uint32(w[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Add inserts w (idempotently), growing as needed.
+func (d *Dict) Add(w string) {
+	if w == "" {
+		return
+	}
+	if d.n*2 >= len(d.slots) {
+		d.grow()
+	}
+	mask := uint32(len(d.slots) - 1)
+	for i := fnv32(w) & mask; ; i = (i + 1) & mask {
+		switch d.slots[i] {
+		case "":
+			d.slots[i] = w
+			d.n++
+			return
+		case w:
+			return
+		}
+	}
+}
+
+func (d *Dict) grow() {
+	old := d.slots
+	d.slots = make([]string, len(old)*2)
+	d.n = 0
+	for _, w := range old {
+		if w != "" {
+			d.Add(w)
+		}
+	}
+}
+
+// Contains reports membership and the number of slots probed (for work
+// charging).
+func (d *Dict) Contains(w string) (found bool, probes int) {
+	if w == "" {
+		return false, 0
+	}
+	mask := uint32(len(d.slots) - 1)
+	for i := fnv32(w) & mask; ; i = (i + 1) & mask {
+		probes++
+		switch d.slots[i] {
+		case "":
+			return false, probes
+		case w:
+			return true, probes
+		}
+	}
+}
+
+// LookupCost returns the modelled cycle cost of a lookup that hashed w
+// and touched the given number of slots.
+func LookupCost(w string, probes int) uint64 {
+	return uint64(len(w)*hashCostPerByte + probes*probeCost)
+}
+
+// Len reports the number of distinct words.
+func (d *Dict) Len() int { return d.n }
+
+// BuildDict parses a word file (one word per line, blank lines ignored)
+// into a dictionary.
+func BuildDict(file []byte) *Dict {
+	lines := bytes.Count(file, []byte{'\n'}) + 1
+	d := NewDict(lines)
+	for _, line := range bytes.Split(file, []byte{'\n'}) {
+		if len(line) > 0 {
+			d.Add(string(line))
+		}
+	}
+	return d
+}
+
+func (d *Dict) String() string {
+	return fmt.Sprintf("Dict(%d words, %d slots)", d.n, len(d.slots))
+}

@@ -1,0 +1,108 @@
+package spell
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictAddContains(t *testing.T) {
+	d := NewDict(4)
+	words := []string{"window", "register", "thread", "cyclic", "trap"}
+	for _, w := range words {
+		d.Add(w)
+	}
+	for _, w := range words {
+		if found, _ := d.Contains(w); !found {
+			t.Errorf("Contains(%q) = false after Add", w)
+		}
+	}
+	if found, _ := d.Contains("missing"); found {
+		t.Error("Contains(missing) = true")
+	}
+	if d.Len() != len(words) {
+		t.Errorf("Len = %d, want %d", d.Len(), len(words))
+	}
+}
+
+func TestDictAddIdempotent(t *testing.T) {
+	d := NewDict(4)
+	d.Add("spill")
+	d.Add("spill")
+	d.Add("spill")
+	if d.Len() != 1 {
+		t.Errorf("Len = %d after duplicate adds, want 1", d.Len())
+	}
+}
+
+func TestDictIgnoresEmpty(t *testing.T) {
+	d := NewDict(4)
+	d.Add("")
+	if d.Len() != 0 {
+		t.Error("empty string was inserted")
+	}
+	if found, probes := d.Contains(""); found || probes != 0 {
+		t.Error("empty lookup should be free and absent")
+	}
+}
+
+func TestDictGrowth(t *testing.T) {
+	d := NewDict(2)
+	for i := 0; i < 5000; i++ {
+		d.Add(fmt.Sprintf("word%d", i))
+	}
+	if d.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", d.Len())
+	}
+	for i := 0; i < 5000; i += 97 {
+		if found, _ := d.Contains(fmt.Sprintf("word%d", i)); !found {
+			t.Errorf("word%d lost after growth", i)
+		}
+	}
+}
+
+// TestDictMatchesMapProperty checks the hash set against a Go map for
+// arbitrary insert sequences.
+func TestDictMatchesMapProperty(t *testing.T) {
+	prop := func(words []string, probe []string) bool {
+		d := NewDict(4)
+		m := make(map[string]bool)
+		for _, w := range words {
+			d.Add(w)
+			if w != "" {
+				m[w] = true
+			}
+		}
+		if d.Len() != len(m) {
+			return false
+		}
+		for _, w := range append(words, probe...) {
+			found, _ := d.Contains(w)
+			if found != m[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildDict(t *testing.T) {
+	d := BuildDict([]byte("alpha\nbeta\n\ngamma\n"))
+	for _, w := range []string{"alpha", "beta", "gamma"} {
+		if found, _ := d.Contains(w); !found {
+			t.Errorf("%q missing from built dictionary", w)
+		}
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestLookupCost(t *testing.T) {
+	if got := LookupCost("abcd", 2); got != 4*hashCostPerByte+2*probeCost {
+		t.Errorf("LookupCost = %d", got)
+	}
+}

@@ -1,0 +1,43 @@
+package spell
+
+import (
+	"reflect"
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/sched"
+)
+
+// FuzzPipelineMatchesReference feeds arbitrary bytes as the LaTeX
+// source: the seven-thread pipeline must terminate and produce output
+// identical to the single-threaded reference for any input.
+func FuzzPipelineMatchesReference(f *testing.F) {
+	f.Add([]byte("plain words here"), uint8(1))
+	f.Add([]byte(`\section{x} math $y$ % comment`), uint8(3))
+	f.Add([]byte("windoow runest running"), uint8(7))
+	f.Add([]byte{}, uint8(2))
+	f.Add([]byte("\\"), uint8(1))
+	f.Add([]byte("$unclosed math"), uint8(4))
+	f.Add([]byte("%"), uint8(1))
+	f.Add([]byte{0, 1, 2, 0xff, '\n', 'a'}, uint8(5))
+	f.Fuzz(func(t *testing.T, src []byte, bufRaw uint8) {
+		if len(src) > 2048 {
+			src = src[:2048]
+		}
+		mainDict := []byte("run\nwindow\nwords\nplain\nhere\nmath\ncomment\n")
+		forbidden := []byte("runest\n")
+		want := CheckText(src, mainDict, forbidden)
+
+		buf := int(bufRaw)%8 + 1
+		k := sched.NewKernel(core.New(core.SchemeSP, core.Config{Windows: 8}), sched.FIFO)
+		p := New(k, Config{
+			M: buf, N: buf,
+			Source: src, MainDict: mainDict, ForbiddenDict: forbidden,
+		})
+		k.Run()
+		got := p.Misspelled()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pipeline %v != reference %v for %q", got, want, src)
+		}
+	})
+}

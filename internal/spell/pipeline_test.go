@@ -1,0 +1,240 @@
+package spell
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/corpus"
+	"cyclicwin/internal/sched"
+)
+
+const (
+	testDraftSize = 4000
+	testDictSize  = 6001
+)
+
+func testConfig(m, n int) Config {
+	return Config{
+		M:             m,
+		N:             n,
+		Source:        corpus.ScaledDraft(testDraftSize),
+		MainDict:      corpus.ScaledMainDict(testDictSize),
+		ForbiddenDict: corpus.ScaledForbiddenDict(testDictSize),
+	}
+}
+
+func runPipeline(s core.Scheme, windows int, policy sched.Policy, cfg Config) (*Pipeline, *sched.Kernel) {
+	k := sched.NewKernel(core.New(s, core.Config{Windows: windows}), policy)
+	p := New(k, cfg)
+	k.Run()
+	return p, k
+}
+
+// TestRulesJudgment pins the two-stage judgment on hand-built inputs.
+func TestRulesJudgment(t *testing.T) {
+	c := &Checker{
+		Main:      BuildDict([]byte("run\nwindow\nfast\n")),
+		Forbidden: BuildDict([]byte("runest\n")),
+	}
+	cases := []struct {
+		word string
+		bad  bool
+	}{
+		{"window", false},
+		{"run", false},
+		{"runs", false},    // legal derivative
+		{"running", true},  // run+n+ing is not plain suffixing here
+		{"runing", false},  // run+ing (synthetic derivation rule)
+		{"runest", true},   // forbidden derivative
+		{"fastest", false}, // fast+est is legal and not forbidden
+		{"windoow", true},  // plain misspelling
+	}
+	for _, tc := range cases {
+		if got := c.Judge(tc.word); got != tc.bad {
+			t.Errorf("Judge(%q) = %v, want %v", tc.word, got, tc.bad)
+		}
+	}
+}
+
+// TestReferenceFindsPlantedErrors checks the oracle itself: every word
+// it reports is either a planted misspelling or a forbidden derivative,
+// and both kinds occur.
+func TestReferenceFindsPlantedErrors(t *testing.T) {
+	bad := CheckText(corpus.ScaledDraft(20000), corpus.ScaledMainDict(testDictSize),
+		corpus.ScaledForbiddenDict(testDictSize))
+	if len(bad) == 0 {
+		t.Fatal("reference found no misspellings in the draft")
+	}
+	planted := make(map[string]bool)
+	for _, w := range corpus.Misspellings() {
+		planted[w] = true
+	}
+	forbidden := make(map[string]bool)
+	for _, w := range corpus.ForbiddenForms() {
+		forbidden[w] = true
+	}
+	sawPlain, sawDeriv := false, false
+	for _, w := range bad {
+		switch {
+		case planted[w]:
+			sawPlain = true
+		case forbidden[w]:
+			sawDeriv = true
+		default:
+			t.Errorf("reference reported unplanted word %q", w)
+		}
+	}
+	if !sawPlain {
+		t.Error("no plain misspelling detected")
+	}
+	if !sawDeriv {
+		t.Error("no forbidden derivative detected")
+	}
+}
+
+// TestPipelineMatchesReference is the central integration property: the
+// seven-thread pipeline must produce byte-identical output to the
+// single-threaded reference under every scheme, window count, buffer
+// configuration and scheduling policy.
+func TestPipelineMatchesReference(t *testing.T) {
+	cfgHigh := testConfig(4, 4)
+	cfgLow := testConfig(256, 4)
+	want := CheckText(cfgHigh.Source, cfgHigh.MainDict, cfgHigh.ForbiddenDict)
+
+	for _, s := range core.Schemes {
+		for _, windows := range []int{4, 8, 24} {
+			for _, policy := range []sched.Policy{sched.FIFO, sched.WorkingSet} {
+				for name, cfg := range map[string]Config{"high": cfgHigh, "low": cfgLow} {
+					t.Run(fmt.Sprintf("%v/w=%d/%v/%s", s, windows, policy, name), func(t *testing.T) {
+						p, _ := runPipeline(s, windows, policy, cfg)
+						got := p.Misspelled()
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("pipeline output diverged from reference:\n got %d words: %.200v\nwant %d words: %.200v",
+								len(got), got, len(want), want)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestSaveCountInvariant checks Table 1's property that the dynamic save
+// count depends only on the program and buffer sizes are irrelevant to
+// it under FIFO... in fact it is independent of scheme and window count;
+// buffer sizes do not change the words processed, so it is also constant
+// across them in this pipeline.
+func TestSaveCountInvariant(t *testing.T) {
+	var want uint64
+	first := true
+	for _, s := range core.Schemes {
+		for _, windows := range []int{4, 16} {
+			_, k := runPipeline(s, windows, sched.FIFO, testConfig(4, 4))
+			saves := k.Manager().Counters().Saves
+			if first {
+				want, first = saves, false
+				if saves == 0 {
+					t.Fatal("pipeline executed no saves")
+				}
+				continue
+			}
+			if saves != want {
+				t.Errorf("%v windows=%d executed %d saves, want %d", s, windows, saves, want)
+			}
+		}
+	}
+}
+
+// TestGranularityControls reproduces the Section 5.1 relationships on
+// the scaled corpus: halving buffer sizes raises context switches, and
+// M >> N starves the file threads of context switches (low concurrency).
+func TestGranularityControls(t *testing.T) {
+	switches := func(m, n int) (total uint64, t4 uint64) {
+		p, k := runPipeline(core.SchemeSP, 16, sched.FIFO, testConfig(m, n))
+		return k.Manager().Counters().Switches, p.T4.Stats().Suspensions
+	}
+	totalFine, t4Fine := switches(1, 1)
+	totalMed, _ := switches(4, 4)
+	totalCoarse, _ := switches(16, 16)
+	if !(totalFine > totalMed && totalMed > totalCoarse) {
+		t.Errorf("switches not monotone in granularity: %d, %d, %d", totalFine, totalMed, totalCoarse)
+	}
+	// With M >> N the file threads suspend far less often. The paper's
+	// Table 1 shows T4 at roughly an eighth of its fine-granularity
+	// count (4817 vs 40501); demand a factor of four here.
+	_, t4Low := switches(256, 1)
+	if t4Low*4 > t4Fine {
+		t.Errorf("low-concurrency T4 suspensions = %d, not far below high-concurrency %d", t4Low, t4Fine)
+	}
+}
+
+// TestDictThreadsMatchTable1Shape checks the structural numbers that let
+// the paper's Table 1 be read off: with buffer size m, the dictionary
+// threads suspend about dictBytes/m times.
+func TestDictThreadsMatchTable1Shape(t *testing.T) {
+	p, _ := runPipeline(core.SchemeSP, 16, sched.FIFO, testConfig(256, 4))
+	got := p.T6.Stats().Suspensions
+	want := uint64(testDictSize / 256)
+	if got < want || got > want+8 {
+		t.Errorf("T6 suspensions = %d, want about %d", got, want)
+	}
+}
+
+// TestWorkingSetReducesSwitchCost checks Section 4.6's effect on the
+// scaled workload with few windows: the working-set policy must not be
+// slower than FIFO for the sharing schemes.
+func TestWorkingSetReducesSwitchCost(t *testing.T) {
+	cfg := testConfig(2, 2)
+	run := func(policy sched.Policy) uint64 {
+		_, k := runPipeline(core.SchemeSP, 8, policy, cfg)
+		return k.Manager().Cycles().Total()
+	}
+	fifo := run(sched.FIFO)
+	ws := run(sched.WorkingSet)
+	if ws > fifo+fifo/20 {
+		t.Errorf("working-set run (%d cycles) noticeably slower than FIFO (%d)", ws, fifo)
+	}
+}
+
+// TestMisspelledParsesOutput pins the output format helper.
+func TestMisspelledParsesOutput(t *testing.T) {
+	var p Pipeline
+	p.out.WriteString("alpha\nbeta\n")
+	if got := p.Misspelled(); !reflect.DeepEqual(got, []string{"alpha", "beta"}) {
+		t.Errorf("Misspelled = %v", got)
+	}
+	var empty Pipeline
+	if got := empty.Misspelled(); got != nil {
+		t.Errorf("empty Misspelled = %v, want nil", got)
+	}
+}
+
+// TestFullCorpusSizes checks the generated inputs match the paper's
+// byte counts exactly.
+func TestFullCorpusSizes(t *testing.T) {
+	if n := len(corpus.Draft()); n != corpus.DraftSize {
+		t.Errorf("draft = %d bytes, want %d", n, corpus.DraftSize)
+	}
+	if n := len(corpus.MainDict()); n != corpus.DictSize {
+		t.Errorf("main dictionary = %d bytes, want %d", n, corpus.DictSize)
+	}
+	if n := len(corpus.ForbiddenDict()); n != corpus.DictSize {
+		t.Errorf("forbidden dictionary = %d bytes, want %d", n, corpus.DictSize)
+	}
+}
+
+// TestCorpusDeterminism checks repeated generation is identical.
+func TestCorpusDeterminism(t *testing.T) {
+	if !strings.HasPrefix(string(corpus.Draft()), `\documentclass`) {
+		t.Error("draft does not start with a LaTeX preamble")
+	}
+	if string(corpus.Draft()) != string(corpus.Draft()) {
+		t.Error("draft generation is nondeterministic")
+	}
+	if string(corpus.MainDict()) != string(corpus.MainDict()) {
+		t.Error("dictionary generation is nondeterministic")
+	}
+}

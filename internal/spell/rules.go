@@ -1,0 +1,102 @@
+package spell
+
+// Derivational suffix handling shared by the spell1/spell2 threads and
+// the reference checker. The model follows the paper's division of
+// labour:
+//
+//   - spell2 (T3) is generous: a word is correct if it is in the main
+//     dictionary, or if stripping a legal suffix leaves a dictionary
+//     word ("taking account of derivatives of words in the dictionary").
+//   - spell1 (T2) catches the incorrect derivatives that spell2's
+//     generosity would wave through: forms listed in the
+//     forbidden-derivative dictionary.
+var legalSuffixes = []string{"ing", "est", "es", "ed", "er", "ly", "s"}
+
+// suffixCost is the modelled work of one suffix-strip attempt.
+const suffixCost = 4
+
+// rootCandidates returns the strings obtained by stripping each legal
+// suffix from w (longest suffixes first), along with the number of
+// attempts made, for work charging.
+func rootCandidates(w string) (roots []string, attempts int) {
+	for _, suf := range legalSuffixes {
+		attempts++
+		if len(w) > len(suf)+1 && w[len(w)-len(suf):] == suf {
+			roots = append(roots, w[:len(w)-len(suf)])
+		}
+	}
+	return roots, attempts
+}
+
+// Checker bundles the two dictionaries and implements the complete
+// judgment, used verbatim by the reference implementation and (in
+// pieces) by the pipeline threads.
+type Checker struct {
+	// Main is the correct-word dictionary (read from dictionary stream
+	// 1 in the pipeline).
+	Main *Dict
+	// Forbidden is the incorrect-derivative dictionary (dictionary
+	// stream 2).
+	Forbidden *Dict
+}
+
+// IsForbiddenDerivative is spell1's test: the word is a planted
+// incorrect derivative. The returned cost covers the lookup.
+func (c *Checker) IsForbiddenDerivative(w string) (bad bool, cost uint64) {
+	found, probes := c.Forbidden.Contains(w)
+	return found, LookupCost(w, probes)
+}
+
+// IsCorrect is spell2's test: in the main dictionary, or derivable from
+// it by one legal suffix.
+func (c *Checker) IsCorrect(w string) (ok bool, cost uint64) {
+	found, probes := c.Main.Contains(w)
+	cost = LookupCost(w, probes)
+	if found {
+		return true, cost
+	}
+	roots, attempts := rootCandidates(w)
+	cost += uint64(attempts * suffixCost)
+	for _, r := range roots {
+		found, probes = c.Main.Contains(r)
+		cost += LookupCost(r, probes)
+		if found {
+			return true, cost
+		}
+	}
+	return false, cost
+}
+
+// Judge runs the full two-stage judgment on one word and reports whether
+// it is misspelled.
+func (c *Checker) Judge(w string) bool {
+	if bad, _ := c.IsForbiddenDerivative(w); bad {
+		return true
+	}
+	ok, _ := c.IsCorrect(w)
+	return !ok
+}
+
+// CheckText is the single-threaded reference: it delatexes the source
+// and returns every misspelled word in order of occurrence (duplicates
+// included — the paper's pipeline omits "sort -u").
+func CheckText(src, mainDict, forbiddenDict []byte) []string {
+	c := &Checker{Main: BuildDict(mainDict), Forbidden: BuildDict(forbiddenDict)}
+	var d Delatex
+	var bad []string
+	for _, b := range src {
+		d.Feed(b)
+		for _, w := range d.Words() {
+			if c.Judge(w) {
+				bad = append(bad, w)
+			}
+		}
+	}
+	d.Close()
+	for _, w := range d.Words() {
+		if c.Judge(w) {
+			bad = append(bad, w)
+		}
+	}
+	return bad
+}

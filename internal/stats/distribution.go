@@ -1,0 +1,193 @@
+package stats
+
+import "sort"
+
+// Distribution records an exact histogram of small-integer observations
+// (context-switch costs take only a handful of distinct values), so
+// worst-case and quantile figures are exact. The zero value is ready to
+// use.
+type Distribution struct {
+	counts map[uint64]uint64
+	n      uint64
+	sum    uint64
+}
+
+// Observe adds one sample.
+func (d *Distribution) Observe(v uint64) {
+	if d.counts == nil {
+		d.counts = make(map[uint64]uint64)
+	}
+	d.counts[v]++
+	d.n++
+	d.sum += v
+}
+
+// N reports the number of samples.
+func (d *Distribution) N() uint64 { return d.n }
+
+// Mean reports the sample mean (0 with no samples).
+func (d *Distribution) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.n)
+}
+
+// Max reports the largest observation (0 with no samples).
+func (d *Distribution) Max() uint64 {
+	var max uint64
+	for v := range d.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min reports the smallest observation (0 with no samples).
+func (d *Distribution) Min() uint64 {
+	first := true
+	var min uint64
+	for v := range d.counts {
+		if first || v < min {
+			min, first = v, false
+		}
+	}
+	return min
+}
+
+// Quantile reports the smallest value v such that at least q (0..1] of
+// the samples are <= v. Quantile(1) is Max.
+func (d *Distribution) Quantile(q float64) uint64 {
+	if d.n == 0 {
+		return 0
+	}
+	values := make([]uint64, 0, len(d.counts))
+	for v := range d.counts {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	need := uint64(q * float64(d.n))
+	if need == 0 {
+		need = 1
+	}
+	var seen uint64
+	for _, v := range values {
+		seen += d.counts[v]
+		if seen >= need {
+			return v
+		}
+	}
+	return values[len(values)-1]
+}
+
+// Values returns the distinct observations in ascending order with
+// their counts.
+func (d *Distribution) Values() (values []uint64, counts []uint64) {
+	for v := range d.counts {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	counts = make([]uint64, len(values))
+	for i, v := range values {
+		counts[i] = d.counts[v]
+	}
+	return values, counts
+}
+
+// Burst describes one scheduling burst of a thread: the range of stack
+// depths (infinite-window identities) its procedures touched between
+// being dispatched and being suspended. Max-Min+1 is the paper's
+// "window activity per thread" for that burst (Section 5).
+type Burst struct {
+	Thread   int
+	Min, Max int
+}
+
+// Activity reports the burst's window activity.
+func (b Burst) Activity() int { return b.Max - b.Min + 1 }
+
+// ActivityRecorder captures bursts so the paper's Section 5 quantities
+// can be computed after a run.
+type ActivityRecorder struct {
+	Bursts []Burst
+}
+
+// Record appends one burst.
+func (r *ActivityRecorder) Record(b Burst) { r.Bursts = append(r.Bursts, b) }
+
+// MeanPerThread reports the average window activity per scheduling
+// burst — the paper's "window activity per thread".
+func (r *ActivityRecorder) MeanPerThread() float64 {
+	if len(r.Bursts) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, b := range r.Bursts {
+		sum += b.Activity()
+	}
+	return float64(sum) / float64(len(r.Bursts))
+}
+
+// TotalActivity reports the paper's "total window activity" for periods
+// of the given number of consecutive bursts: within each period, each
+// thread contributes the union of the depth ranges it touched (a
+// repeatedly-used window counts once); threads are disjoint, so the
+// total is the sum. The mean over all full periods is returned.
+func (r *ActivityRecorder) TotalActivity(periodBursts int) float64 {
+	if periodBursts <= 0 || len(r.Bursts) < periodBursts {
+		return 0
+	}
+	var totals []int
+	for start := 0; start+periodBursts <= len(r.Bursts); start += periodBursts {
+		type span struct{ min, max int }
+		perThread := make(map[int][]span)
+		for _, b := range r.Bursts[start : start+periodBursts] {
+			perThread[b.Thread] = append(perThread[b.Thread], span{b.Min, b.Max})
+		}
+		total := 0
+		for _, spans := range perThread {
+			// Union of depth intervals.
+			sort.Slice(spans, func(i, j int) bool { return spans[i].min < spans[j].min })
+			covered, end := 0, -1
+			for _, s := range spans {
+				lo := s.min
+				if lo <= end {
+					lo = end + 1
+				}
+				if s.max >= lo {
+					covered += s.max - lo + 1
+					end = s.max
+				} else if s.max > end {
+					end = s.max
+				}
+			}
+			total += covered
+		}
+		totals = append(totals, total)
+	}
+	sum := 0
+	for _, t := range totals {
+		sum += t
+	}
+	return float64(sum) / float64(len(totals))
+}
+
+// Concurrency reports how many distinct threads were scheduled at least
+// once per period of the given number of bursts, averaged over periods
+// (the paper's "concurrency").
+func (r *ActivityRecorder) Concurrency(periodBursts int) float64 {
+	if periodBursts <= 0 || len(r.Bursts) < periodBursts {
+		return 0
+	}
+	var periods, sum int
+	for start := 0; start+periodBursts <= len(r.Bursts); start += periodBursts {
+		seen := make(map[int]bool)
+		for _, b := range r.Bursts[start : start+periodBursts] {
+			seen[b.Thread] = true
+		}
+		sum += len(seen)
+		periods++
+	}
+	return float64(sum) / float64(periods)
+}

@@ -1,0 +1,123 @@
+// Package stream implements the cyclic-buffer FIFO byte streams
+// connecting the threads of the paper's workload (S1 through S6 in
+// Figure 10). A thread reading an empty stream or writing a full one
+// blocks, which — under the non-preemptive kernel — is exactly what
+// triggers context switches; the buffer sizes M and N therefore control
+// granularity and concurrency (Section 5.1).
+package stream
+
+import (
+	"fmt"
+
+	"cyclicwin/internal/sched"
+)
+
+// Cost of moving one byte through a stream, in cycles (index update,
+// load/store, wrap test).
+const byteCost = 4
+
+// Stream is a bounded FIFO of bytes with blocking reads and writes.
+type Stream struct {
+	k      *sched.Kernel
+	name   string
+	buf    []byte
+	head   int // next read position
+	count  int // bytes in the buffer
+	closed bool
+
+	readers []*sched.TCB
+	writers []*sched.TCB
+
+	// BytesWritten counts all bytes that passed through.
+	BytesWritten uint64
+}
+
+// New creates a stream with the given buffer capacity (the paper's M or
+// N parameter).
+func New(k *sched.Kernel, name string, capacity int) *Stream {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("stream %s: capacity %d must be positive", name, capacity))
+	}
+	return &Stream{k: k, name: name, buf: make([]byte, capacity)}
+}
+
+// Name returns the stream name.
+func (s *Stream) Name() string { return s.name }
+
+// Cap returns the buffer capacity.
+func (s *Stream) Cap() int { return len(s.buf) }
+
+// Len returns the number of buffered bytes.
+func (s *Stream) Len() int { return s.count }
+
+func (s *Stream) wakeReaders() {
+	for _, t := range s.readers {
+		s.k.Wake(t)
+	}
+	s.readers = s.readers[:0]
+}
+
+func (s *Stream) wakeWriters() {
+	for _, t := range s.writers {
+		s.k.Wake(t)
+	}
+	s.writers = s.writers[:0]
+}
+
+// Put appends b, blocking while the buffer is full. Writing to a
+// closed stream panics (a guest program bug).
+func (s *Stream) Put(e *sched.Env, b byte) {
+	for s.count == len(s.buf) {
+		if s.closed {
+			panic(fmt.Sprintf("stream %s: write after close", s.name))
+		}
+		s.writers = append(s.writers, e.TCB())
+		e.Block()
+	}
+	if s.closed {
+		panic(fmt.Sprintf("stream %s: write after close", s.name))
+	}
+	s.buf[(s.head+s.count)%len(s.buf)] = b
+	s.count++
+	s.BytesWritten++
+	e.Work(byteCost)
+	s.wakeReaders()
+}
+
+// PutString writes every byte of str in order.
+func (s *Stream) PutString(e *sched.Env, str string) {
+	for i := 0; i < len(str); i++ {
+		s.Put(e, str[i])
+	}
+}
+
+// Get removes and returns the oldest byte, blocking while the
+// buffer is empty. It returns ok=false when the stream is closed and
+// drained.
+func (s *Stream) Get(e *sched.Env) (b byte, ok bool) {
+	for s.count == 0 {
+		if s.closed {
+			return 0, false
+		}
+		s.readers = append(s.readers, e.TCB())
+		e.Block()
+	}
+	b = s.buf[s.head]
+	s.head = (s.head + 1) % len(s.buf)
+	s.count--
+	e.Work(byteCost)
+	s.wakeWriters()
+	return b, true
+}
+
+// Close marks the stream finished; blocked and future readers see EOF
+// once the buffer drains.
+func (s *Stream) Close(e *sched.Env) {
+	s.closed = true
+	s.wakeReaders()
+	s.wakeWriters()
+	_ = e
+}
+
+// Closed reports whether Close was called.
+func (s *Stream) Closed() bool { return s.closed }

@@ -1,0 +1,222 @@
+// Package trace records window-management events for debugging and
+// exposition: every context switch, save, restore, trap and exit, with
+// a snapshot of the window file (CWP and WIM) after each event. The
+// tracer is a decorator around any core.Manager, so the schemes need no
+// instrumentation; traps are inferred from counter deltas.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/regwin"
+	"cyclicwin/internal/stats"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	KindSwitch Kind = iota
+	KindSwitchFlush
+	KindSave
+	KindRestore
+	KindOverflow  // a save that took an overflow trap
+	KindUnderflow // a restore that took an underflow trap
+	KindExit
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSwitch:
+		return "switch"
+	case KindSwitchFlush:
+		return "switch*"
+	case KindSave:
+		return "save"
+	case KindRestore:
+		return "restore"
+	case KindOverflow:
+		return "save/OVF"
+	case KindUnderflow:
+		return "restore/UNF"
+	case KindExit:
+		return "exit"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded operation.
+type Event struct {
+	Seq    uint64
+	Cycle  uint64 // simulated clock after the event
+	Kind   Kind
+	Thread int    // acting thread id (the target for switches)
+	Cost   uint64 // cycles charged by the event
+	Moved  uint64 // windows transferred by the event
+	CWP    int
+	WIM    uint32
+}
+
+// Manager wraps a core.Manager, recording events into a bounded ring.
+type Manager struct {
+	core.Manager
+	ring  []Event
+	next  uint64 // total events ever recorded
+	limit int
+	file  *regwin.File
+}
+
+// New wraps m, keeping the most recent limit events (1024 if limit<=0).
+func New(m core.Manager, limit int) *Manager {
+	if limit <= 0 {
+		limit = 1024
+	}
+	t := &Manager{Manager: m, limit: limit, ring: make([]Event, 0, limit)}
+	if f, ok := m.(interface{ File() *regwin.File }); ok {
+		t.file = f.File()
+	}
+	return t
+}
+
+func (t *Manager) record(kind Kind, thread int, before stats.Counters, beforeCycles uint64) {
+	c := t.Manager.Counters()
+	ev := Event{
+		Seq:    t.next,
+		Cycle:  t.Manager.Cycles().Total(),
+		Kind:   kind,
+		Thread: thread,
+		Cost:   t.Manager.Cycles().Total() - beforeCycles,
+		Moved: (c.TrapSaves - before.TrapSaves) + (c.TrapRestores - before.TrapRestores) +
+			(c.SwitchSaves - before.SwitchSaves) + (c.SwitchRestores - before.SwitchRestores),
+	}
+	switch {
+	case kind == KindSave && c.OverflowTraps > before.OverflowTraps:
+		ev.Kind = KindOverflow
+	case kind == KindRestore && c.UnderflowTraps > before.UnderflowTraps:
+		ev.Kind = KindUnderflow
+	}
+	if t.file != nil {
+		ev.CWP = t.file.CWP()
+		ev.WIM = t.file.WIM()
+	}
+	t.next++
+	if len(t.ring) < t.limit {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[int(ev.Seq)%t.limit] = ev
+	}
+}
+
+func (t *Manager) snapshot() (stats.Counters, uint64) {
+	return *t.Manager.Counters(), t.Manager.Cycles().Total()
+}
+
+// Switch records and delegates.
+func (t *Manager) Switch(th *core.Thread) {
+	c, cy := t.snapshot()
+	t.Manager.Switch(th)
+	t.record(KindSwitch, th.ID, c, cy)
+}
+
+// SwitchFlush records and delegates.
+func (t *Manager) SwitchFlush(th *core.Thread) {
+	c, cy := t.snapshot()
+	t.Manager.SwitchFlush(th)
+	t.record(KindSwitchFlush, th.ID, c, cy)
+}
+
+// Save records and delegates.
+func (t *Manager) Save() {
+	c, cy := t.snapshot()
+	id := t.Manager.Running().ID
+	t.Manager.Save()
+	t.record(KindSave, id, c, cy)
+}
+
+// Restore records and delegates.
+func (t *Manager) Restore() {
+	c, cy := t.snapshot()
+	id := t.Manager.Running().ID
+	t.Manager.Restore()
+	t.record(KindRestore, id, c, cy)
+}
+
+// Exit records and delegates.
+func (t *Manager) Exit() {
+	c, cy := t.snapshot()
+	id := t.Manager.Running().ID
+	t.Manager.Exit()
+	t.record(KindExit, id, c, cy)
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Manager) Events() []Event {
+	if t.next <= uint64(t.limit) {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, t.limit)
+	start := int(t.next) % t.limit
+	out = append(out, t.ring[start:]...)
+	out = append(out, t.ring[:start]...)
+	return out
+}
+
+// Total reports how many events were recorded overall (including ones
+// that fell out of the ring).
+func (t *Manager) Total() uint64 { return t.next }
+
+// WindowMap renders the window file of an event as one character per
+// slot: '*' the current window, 'o' a valid window, '.' an invalid one.
+func (t *Manager) WindowMap(ev Event) string {
+	if t.file == nil {
+		return ""
+	}
+	n := t.file.NWindows()
+	var sb strings.Builder
+	for w := 0; w < n; w++ {
+		switch {
+		case w == ev.CWP:
+			sb.WriteByte('*')
+		case ev.WIM&(1<<uint(w)) != 0:
+			sb.WriteByte('.')
+		default:
+			sb.WriteByte('o')
+		}
+	}
+	return sb.String()
+}
+
+// Render writes the trace as a table, one line per event, with the
+// window map alongside.
+func (t *Manager) Render(w io.Writer) {
+	fmt.Fprintf(w, "%6s %10s %4s %-12s %6s %6s %4s %s\n",
+		"seq", "cycle", "thr", "event", "cost", "moved", "cwp", "windows (*=current o=valid .=invalid)")
+	for _, ev := range t.Events() {
+		fmt.Fprintf(w, "%6d %10d %4d %-12s %6d %6d %4d %s\n",
+			ev.Seq, ev.Cycle, ev.Thread, ev.Kind, ev.Cost, ev.Moved, ev.CWP, t.WindowMap(ev))
+	}
+}
+
+// Summarise writes one line per event kind with counts and cycle sums.
+func (t *Manager) Summarise(w io.Writer) {
+	counts := map[Kind]int{}
+	costs := map[Kind]uint64{}
+	for _, ev := range t.Events() {
+		counts[ev.Kind]++
+		costs[ev.Kind] += ev.Cost
+	}
+	for k := KindSwitch; k <= KindExit; k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(w, "%-12s %8d events %12d cycles\n", k, counts[k], costs[k])
+		}
+	}
+}
+
+var _ core.Manager = (*Manager)(nil)

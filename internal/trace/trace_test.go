@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/sched"
+)
+
+func traced(windows, limit int) (*Manager, *sched.Kernel) {
+	m := New(core.New(core.SchemeSP, core.Config{Windows: windows}), limit)
+	return m, sched.NewKernel(m, sched.FIFO)
+}
+
+func TestRecordsEventSequence(t *testing.T) {
+	m, k := traced(4, 0)
+	k.Spawn("t", func(e *sched.Env) {
+		e.Call(func(e *sched.Env) {
+			e.Call(func(e *sched.Env) {
+				e.Call(func(e *sched.Env) {}) // deep enough to overflow
+			})
+		})
+	})
+	k.Run()
+	evs := m.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[Kind]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	if kinds[KindSwitch] != 1 {
+		t.Errorf("switch events = %d, want 1", kinds[KindSwitch])
+	}
+	if kinds[KindSave]+kinds[KindOverflow] != 3 {
+		t.Errorf("save events = %d, want 3", kinds[KindSave]+kinds[KindOverflow])
+	}
+	// Under SP every first-time growth save traps (Figure 5 WIM), so
+	// all three deepening saves are overflow events.
+	if kinds[KindOverflow] != 3 {
+		t.Errorf("overflow events = %d, want 3 (4 windows, depth 3, SP)", kinds[KindOverflow])
+	}
+	if kinds[KindRestore]+kinds[KindUnderflow] != 3 {
+		t.Errorf("restore events = %d, want 3", kinds[KindRestore]+kinds[KindUnderflow])
+	}
+	if kinds[KindExit] != 1 {
+		t.Errorf("exit events = %d, want 1", kinds[KindExit])
+	}
+	// Sequence numbers are consecutive and cycles never decrease.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-consecutive seq at %d", i)
+		}
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatalf("clock went backwards at %d", i)
+		}
+	}
+}
+
+func TestRingKeepsNewest(t *testing.T) {
+	m, k := traced(8, 4)
+	k.Spawn("t", func(e *sched.Env) {
+		for i := 0; i < 10; i++ {
+			e.Call(func(e *sched.Env) {})
+		}
+	})
+	k.Run()
+	evs := m.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring returned %d events, want 4", len(evs))
+	}
+	if m.Total() != 22 { // 1 switch + 10 saves + 10 restores + 1 exit
+		t.Errorf("Total = %d, want 22", m.Total())
+	}
+	// The newest event must be the exit.
+	if evs[3].Kind != KindExit {
+		t.Errorf("last event = %v, want exit", evs[3].Kind)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("ring order broken: %v", evs)
+		}
+	}
+}
+
+func TestWindowMap(t *testing.T) {
+	m, k := traced(4, 0)
+	var mid Event
+	k.Spawn("t", func(e *sched.Env) {
+		e.Call(func(e *sched.Env) {
+			evs := m.Events()
+			mid = evs[len(evs)-1]
+		})
+	})
+	k.Run()
+	wm := m.WindowMap(mid)
+	if len(wm) != 4 {
+		t.Fatalf("window map %q, want 4 slots", wm)
+	}
+	if !strings.Contains(wm, "*") {
+		t.Errorf("window map %q lacks the current window", wm)
+	}
+	if !strings.Contains(wm, ".") {
+		t.Errorf("window map %q lacks invalid windows", wm)
+	}
+}
+
+func TestRenderAndSummarise(t *testing.T) {
+	m, k := traced(4, 0)
+	k.Spawn("a", func(e *sched.Env) { e.Call(func(e *sched.Env) {}) })
+	k.Spawn("b", func(e *sched.Env) {})
+	k.Run()
+	var sb strings.Builder
+	m.Render(&sb)
+	for _, frag := range []string{"switch", "save", "restore", "exit", "windows"} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Errorf("render lacks %q:\n%s", frag, sb.String())
+		}
+	}
+	sb.Reset()
+	m.Summarise(&sb)
+	if !strings.Contains(sb.String(), "events") {
+		t.Error("summary lacks counts")
+	}
+}
+
+// TestTracerTransparent checks the decorator does not change behaviour:
+// a traced machine produces identical counters to an untraced one.
+func TestTracerTransparent(t *testing.T) {
+	run := func(trace bool) uint64 {
+		mgr := core.New(core.SchemeSNP, core.Config{Windows: 6})
+		var m core.Manager = mgr
+		if trace {
+			m = New(mgr, 16)
+		}
+		k := sched.NewKernel(m, sched.FIFO)
+		for i := 0; i < 3; i++ {
+			k.Spawn("t", func(e *sched.Env) {
+				for j := 0; j < 5; j++ {
+					e.Call(func(e *sched.Env) { e.Yield() })
+				}
+			})
+		}
+		k.Run()
+		return m.Cycles().Total()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Errorf("traced run took %d cycles, untraced %d", b, a)
+	}
+}

@@ -1,0 +1,153 @@
+// Package workload provides parameterised multi-threaded workloads
+// beyond the paper's spell checker, of the kinds its introduction
+// motivates (fine-grain multi-threading from logic/functional language
+// implementations and parallel libraries):
+//
+//   - Ring: a token circulating through N threads — the purest
+//     context-switch stress, every step is suspend/dispatch.
+//   - ForkJoin: recursive spawning with joins, a parallel-library call
+//     tree whose leaves do the work.
+//   - Synthetic: threads with controllable call-depth excursions and
+//     run lengths, the knobs of the paper's Section 5 (window activity
+//     per thread, granularity) in their purest form.
+//
+// All workloads are deterministic and return verifiable results, so
+// they double as correctness tests of the whole machine.
+package workload
+
+import (
+	"fmt"
+
+	"cyclicwin/internal/sched"
+	"cyclicwin/internal/stream"
+)
+
+// Ring builds a token ring of n threads connected by 1-byte streams;
+// the token carries a counter incremented on each hop and circulates
+// for the given number of laps. The returned function reports the final
+// counter after the kernel has run (expected: n*laps hops).
+func Ring(k *sched.Kernel, n, laps int) (result func() uint32) {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: ring of %d threads", n))
+	}
+	links := make([]*stream.Stream, n)
+	for i := range links {
+		links[i] = stream.New(k, fmt.Sprintf("link%d", i), 1)
+	}
+	var final uint32
+	for i := 0; i < n; i++ {
+		i := i
+		in, out := links[i], links[(i+1)%n]
+		k.Spawn(fmt.Sprintf("ring%d", i), func(e *sched.Env) {
+			if i == 0 {
+				// Inject the token: a 16-bit counter, two bytes.
+				out.Put(e, 0)
+				out.Put(e, 0)
+			}
+			for {
+				hi, ok := in.Get(e)
+				if !ok {
+					out.Close(e)
+					return
+				}
+				lo, _ := in.Get(e)
+				count := uint32(hi)<<8 | uint32(lo)
+				// One procedure call per hop, so every hop uses a
+				// window.
+				e.Call(func(e *sched.Env) {
+					e.SetRet(e.Arg(0) + 1)
+				}, count)
+				count = e.Ret()
+				if i == 0 && count >= uint32(n*laps) {
+					final = count
+					out.Close(e)
+					// Drain a possibly in-flight close from our input.
+					in.Get(e)
+					return
+				}
+				out.Put(e, byte(count>>8))
+				out.Put(e, byte(count))
+			}
+		})
+	}
+	return func() uint32 { return final }
+}
+
+// ForkJoin spawns a binary tree of threads of the given depth; each
+// leaf computes its index through a real call chain of depth `work`,
+// and parents sum their children's results. The returned function
+// reports the root sum; for depth d there are 2^d leaves with indices
+// 0..2^d-1, so the expected sum is 2^(d-1) * (2^d - 1) + total length
+// of the call chains.
+func ForkJoin(k *sched.Kernel, depth, work int) (result func() uint32) {
+	var spawn func(level int, index uint32, report func(uint32)) *sched.TCB
+	spawn = func(level int, index uint32, report func(uint32)) *sched.TCB {
+		name := fmt.Sprintf("node%d.%d", level, index)
+		return k.Spawn(name, func(e *sched.Env) {
+			if level == 0 {
+				// Leaf: add `work` through a recursive call chain.
+				var descend func(e *sched.Env)
+				descend = func(e *sched.Env) {
+					n := e.Arg(0)
+					if n == 0 {
+						e.SetRet(e.Arg(1))
+						return
+					}
+					e.Call(descend, n-1, e.Arg(1)+1)
+					e.SetRet(e.Ret())
+				}
+				e.Call(descend, uint32(work), index)
+				report(e.Ret())
+				return
+			}
+			// Interior node: spawn two children and join them.
+			var left, right uint32
+			l := spawn(level-1, index*2, func(v uint32) { left = v })
+			r := spawn(level-1, index*2+1, func(v uint32) { right = v })
+			e.Join(l)
+			e.Join(r)
+			report(left + right)
+		})
+	}
+	var root uint32
+	spawn(depth, 0, func(v uint32) { root = v })
+	return func() uint32 { return root }
+}
+
+// ForkJoinExpected computes the root sum ForkJoin must produce.
+func ForkJoinExpected(depth, work int) uint32 {
+	leaves := uint32(1) << uint(depth)
+	// Sum of indices 0..leaves-1 plus `work` added per leaf.
+	return leaves*(leaves-1)/2 + leaves*uint32(work)
+}
+
+// SyntheticConfig controls the pure Section 5 workload.
+type SyntheticConfig struct {
+	Threads int // concurrency
+	Bursts  int // scheduling bursts per thread
+	Depth   int // call-depth excursion per burst (window activity per thread)
+	Work    int // cycles charged per call level (granularity)
+}
+
+// Synthetic spawns Threads threads; each performs Bursts rounds of
+// "descend Depth calls, charging Work cycles per level, come back up,
+// yield". Window activity per thread is Depth+1 by construction, total
+// window activity is about Threads*(Depth+1), and granularity is set by
+// Work — the three quantities of Section 5, each on its own knob.
+func Synthetic(k *sched.Kernel, cfg SyntheticConfig) {
+	for i := 0; i < cfg.Threads; i++ {
+		k.Spawn(fmt.Sprintf("syn%d", i), func(e *sched.Env) {
+			var descend func(e *sched.Env)
+			descend = func(e *sched.Env) {
+				e.Work(uint64(cfg.Work))
+				if n := e.Arg(0); n > 0 {
+					e.Call(descend, n-1)
+				}
+			}
+			for b := 0; b < cfg.Bursts; b++ {
+				e.Call(descend, uint32(cfg.Depth-1))
+				e.Yield()
+			}
+		})
+	}
+}
