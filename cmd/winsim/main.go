@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	winsim -exp table1|table2|fig11|fig12|fig13|fig14|fig15|ablation [-full] [-windows 4,8,...]
+//	winsim -exp list                            # catalog of experiments
+//	winsim -exp table1|table2|fig11|...|all [-full] [-windows 4,8,...]
 //
 // By default experiments run on a reduced workload; -full uses the
 // paper's exact input sizes (40,500-byte draft, 50,001-byte
-// dictionaries).
+// dictionaries). Figure sweeps execute their cells concurrently on a
+// simsvc worker pool (-parallel=false forces the serial path; both
+// produce byte-identical output). With -cachedir, completed cells are
+// stored on disk and reused across invocations.
 package main
 
 import (
@@ -19,14 +23,26 @@ import (
 	"strings"
 
 	"cyclicwin/internal/harness"
+	"cyclicwin/internal/simsvc"
 )
 
 func main() {
-	exp := flag.String("exp", "fig11", "experiment: table1, table2, fig11..fig15, ablation, activity, tail, transfer, hw, all")
+	exp := flag.String("exp", "fig11", "experiment name (see -exp list), or all")
 	full := flag.Bool("full", false, "use the paper's full input sizes")
 	windowsFlag := flag.String("windows", "", "comma-separated window counts (default: the paper's sweep)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	parallel := flag.Bool("parallel", true, "run sweep cells concurrently on a worker pool")
+	workers := flag.Int("workers", 0, "pool size when -parallel (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cachedir", "", "reuse completed cells from this on-disk result store")
 	flag.Parse()
+
+	if *exp == "list" {
+		fmt.Printf("%-10s %s\n", "name", "description")
+		for _, e := range simsvc.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Description)
+		}
+		return
+	}
 
 	sz := harness.QuickSizes
 	if *full {
@@ -45,83 +61,45 @@ func main() {
 		}
 	}
 
-	figure := func(name string, f harness.Figure) {
-		f.Render(os.Stdout)
-		if *csvDir == "" {
-			return
-		}
-		path := filepath.Join(*csvDir, name+".csv")
-		file, err := os.Create(path)
+	// The runner executes figure cells: serially in-process, or fanned
+	// out across a pool whose cache deduplicates cells shared between
+	// figures (fig11/fig12/fig13 reuse the same sweep).
+	runner := harness.RunSerial
+	if *parallel {
+		cache, err := simsvc.NewCache(0, *cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
 			os.Exit(1)
 		}
-		defer file.Close()
-		if err := f.WriteCSV(file); err != nil {
-			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers, Cache: cache})
+		defer pool.Close()
+		runner = pool.Runner()
 	}
 
 	run := func(name string) {
-		out := os.Stdout
-		switch name {
-		case "table1":
-			harness.RunTable1(sz).Render(out)
-		case "table2":
-			harness.RenderTable2(out, harness.RunTable2())
-		case "fig11":
-			figure(name, harness.RunFig11(sz, windows))
-		case "fig12":
-			figure(name, harness.RunFig12(sz, windows))
-		case "fig13":
-			figure(name, harness.RunFig13(sz, windows))
-		case "fig14":
-			figure(name, harness.RunFig14(sz, windows))
-		case "fig15":
-			figure(name, harness.RunFig15(sz, windows))
-		case "ablation":
-			renderAblations(sz, windows)
-		case "activity":
-			harness.RenderActivity(out, harness.RunActivity(sz))
-		case "tail":
-			harness.RenderTail(out, harness.RunTail(sz, 8))
-		case "transfer":
-			harness.RenderTransferSweep(out, harness.RunTransferSweep(sz, 8, []int{1, 2, 4}), 8)
-		case "hw":
-			harness.RenderHWProjection(out, harness.RunHWProjection(sz, []int{8, 16, 32}))
-		default:
-			fmt.Fprintf(os.Stderr, "winsim: unknown experiment %q\n", name)
+		e, ok := simsvc.LookupExperiment(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "winsim: unknown experiment %q (try -exp list)\n", name)
 			os.Exit(2)
 		}
-		fmt.Fprintln(out)
+		output, csv := e.Run(sz, windows, runner)
+		fmt.Print(output)
+		if e.Figure && *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		fmt.Println()
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "fig11", "fig12", "fig13", "fig14",
-			"fig15", "ablation", "activity", "tail", "transfer", "hw"} {
+		for _, name := range simsvc.ExperimentNames() {
 			run(name)
 		}
 		return
 	}
 	run(*exp)
-}
-
-func renderAblations(sz harness.Sizes, windows []int) {
-	fmt.Println("Ablation A: in-situ vs flushing context switch (Section 4.4, high-medium, 16 windows)")
-	for _, a := range harness.RunAblationFlush(sz, 16) {
-		fmt.Printf("  %-4s in-situ %12d cycles   flush-all %12d cycles   (flush/in-situ = %.3f)\n",
-			a.Scheme, a.InSituCycles, a.FlushAll, float64(a.FlushAll)/float64(a.InSituCycles))
-	}
-	fmt.Println("Ablation B: SNP simple vs searching window allocation (Section 4.2, high-fine)")
-	for _, a := range harness.RunAblationSearchAlloc(sz, windows) {
-		fmt.Printf("  windows %2d: simple %12d cycles (%7d switch spills)   search %12d cycles (%7d switch spills)\n",
-			a.Windows, a.SimpleCycles, a.SimpleSpills, a.Search, a.SearchSpills)
-	}
-	fmt.Println("Ablation C: cost of restore-instruction emulation (Section 4.3, high-fine, 6 windows)")
-	for _, a := range harness.RunAblationRestoreEmulation(sz, 6) {
-		fmt.Printf("  %-4s underflow traps %9d   emulation cost %9d cycles   (%.4f%% of runtime)\n",
-			a.Scheme, a.UnderflowTraps, a.EmulationCost, 100*float64(a.EmulationCost)/float64(a.TotalCycles))
-	}
 }

@@ -1,0 +1,88 @@
+// Command winsimd serves the repository's simulations over HTTP: a
+// worker pool executes submitted jobs concurrently and a
+// content-addressed cache answers repeated specs without re-running.
+//
+// Usage:
+//
+//	winsimd [-addr :8091] [-workers N] [-cachedir DIR] [-cachesize N] [-timeout 10m]
+//
+// Endpoints:
+//
+//	POST /v1/jobs         submit a spec or batch (?wait=1 blocks for results)
+//	GET  /v1/jobs/{id}    job status and result
+//	GET  /v1/experiments  experiment catalog
+//	GET  /healthz         liveness
+//	GET  /metrics         pool/cache/latency counters
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight jobs before exiting; a second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cyclicwin/internal/simsvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8091", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cachedir", "", "directory for the on-disk result store (empty = memory only)")
+	cacheSize := flag.Int("cachesize", 0, "in-memory cache entries (0 = default)")
+	timeout := flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
+	drainFor := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	flag.Parse()
+
+	cache, err := simsvc.NewCache(*cacheSize, *cacheDir)
+	if err != nil {
+		log.Fatalf("winsimd: %v", err)
+	}
+	pool := simsvc.NewPool(simsvc.PoolConfig{
+		Workers:    *workers,
+		JobTimeout: *timeout,
+		Cache:      cache,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           simsvc.NewServer(pool),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("winsimd: serving on %s (%d workers, cache dir %q)", *addr, pool.Workers(), *cacheDir)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("winsimd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("winsimd: shutting down, draining in-flight jobs (budget %v)", *drainFor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("winsimd: http shutdown: %v", err)
+	}
+	if err := pool.Drain(shutdownCtx); err != nil {
+		log.Printf("winsimd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	m := pool.Metrics()
+	fmt.Printf("winsimd: done — %d jobs done, %d failed, cache hit ratio %.2f\n",
+		m.JobsDone, m.JobsFailed, m.CacheHitRatio)
+}

@@ -258,14 +258,28 @@ type Figure struct {
 // figureMetric extracts the plotted value from a run.
 type figureMetric func(Result) float64
 
-func sweep(title, ylabel string, policy sched.Policy, behaviors []Behavior, sz Sizes, windows []int, metric figureMetric) Figure {
+// sweep runs the cross product behaviours × schemes × windows through
+// the runner as one batch, so a concurrent runner sees every cell up
+// front, then assembles the figure in the fixed series order.
+func sweep(title, ylabel string, policy sched.Policy, behaviors []Behavior, sz Sizes, windows []int, run Runner, metric figureMetric) Figure {
+	var cells []CellSpec
+	for _, b := range behaviors {
+		for _, s := range core.Schemes {
+			for _, n := range windows {
+				cells = append(cells, CellSpec{Scheme: s, Windows: n, Policy: policy, Behavior: b, Sizes: sz})
+			}
+		}
+	}
+	results := run(cells)
+
 	fig := Figure{Title: title, YLabel: ylabel}
+	i := 0
 	for _, b := range behaviors {
 		for _, s := range core.Schemes {
 			series := Series{Label: fmt.Sprintf("%s/%s", s, b.Granularity)}
 			for _, n := range windows {
-				r := RunSpell(s, n, policy, b, sz)
-				series.Points = append(series.Points, Point{n, metric(r)})
+				series.Points = append(series.Points, Point{n, metric(results[i])})
+				i++
 			}
 			fig.Series = append(fig.Series, series)
 		}
@@ -274,38 +288,53 @@ func sweep(title, ylabel string, policy sched.Policy, behaviors []Behavior, sz S
 }
 
 // RunFig11 is the high-concurrency execution-time comparison.
-func RunFig11(sz Sizes, windows []int) Figure {
+func RunFig11(sz Sizes, windows []int) Figure { return RunFig11With(sz, windows, RunSerial) }
+
+// RunFig11With is RunFig11 with an explicit cell runner.
+func RunFig11With(sz Sizes, windows []int, run Runner) Figure {
 	return sweep("Figure 11: Performance at high concurrency", "execution cycles",
-		sched.FIFO, Behaviors[:3], sz, windows,
+		sched.FIFO, Behaviors[:3], sz, windows, run,
 		func(r Result) float64 { return float64(r.Cycles) })
 }
 
 // RunFig12 is the average context-switch time at high concurrency.
-func RunFig12(sz Sizes, windows []int) Figure {
+func RunFig12(sz Sizes, windows []int) Figure { return RunFig12With(sz, windows, RunSerial) }
+
+// RunFig12With is RunFig12 with an explicit cell runner.
+func RunFig12With(sz Sizes, windows []int, run Runner) Figure {
 	return sweep("Figure 12: Average time of a context switch at high concurrency", "cycles/switch",
-		sched.FIFO, Behaviors[:3], sz, windows,
+		sched.FIFO, Behaviors[:3], sz, windows, run,
 		func(r Result) float64 { return r.Counters.AvgSwitchCycles() })
 }
 
 // RunFig13 is the window-trap probability at high concurrency.
-func RunFig13(sz Sizes, windows []int) Figure {
+func RunFig13(sz Sizes, windows []int) Figure { return RunFig13With(sz, windows, RunSerial) }
+
+// RunFig13With is RunFig13 with an explicit cell runner.
+func RunFig13With(sz Sizes, windows []int, run Runner) Figure {
 	return sweep("Figure 13: Probability of window traps at high concurrency", "traps/(save+restore)",
-		sched.FIFO, Behaviors[:3], sz, windows,
+		sched.FIFO, Behaviors[:3], sz, windows, run,
 		func(r Result) float64 { return r.Counters.TrapProbability() })
 }
 
 // RunFig14 is the low-concurrency execution-time comparison.
-func RunFig14(sz Sizes, windows []int) Figure {
+func RunFig14(sz Sizes, windows []int) Figure { return RunFig14With(sz, windows, RunSerial) }
+
+// RunFig14With is RunFig14 with an explicit cell runner.
+func RunFig14With(sz Sizes, windows []int, run Runner) Figure {
 	return sweep("Figure 14: Performance at low concurrency", "execution cycles",
-		sched.FIFO, Behaviors[3:], sz, windows,
+		sched.FIFO, Behaviors[3:], sz, windows, run,
 		func(r Result) float64 { return float64(r.Cycles) })
 }
 
 // RunFig15 is the high-concurrency comparison under working-set
 // scheduling.
-func RunFig15(sz Sizes, windows []int) Figure {
+func RunFig15(sz Sizes, windows []int) Figure { return RunFig15With(sz, windows, RunSerial) }
+
+// RunFig15With is RunFig15 with an explicit cell runner.
+func RunFig15With(sz Sizes, windows []int, run Runner) Figure {
 	return sweep("Figure 15: Working set scheduling at high concurrency", "execution cycles",
-		sched.WorkingSet, Behaviors[:3], sz, windows,
+		sched.WorkingSet, Behaviors[:3], sz, windows, run,
 		func(r Result) float64 { return float64(r.Cycles) })
 }
 

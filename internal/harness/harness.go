@@ -7,6 +7,8 @@
 package harness
 
 import (
+	"sync"
+
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/corpus"
 	"cyclicwin/internal/sched"
@@ -84,14 +86,21 @@ type Result struct {
 }
 
 // workload caches generated corpora per size so sweeps do not pay
-// regeneration for every run.
+// regeneration for every run. The byte slices are read-only after
+// generation, so one workload may back any number of concurrent
+// simulations; only the map itself needs the lock.
 type workload struct {
 	source, main, forbidden []byte
 }
 
-var workloads = map[Sizes]*workload{}
+var (
+	workloadsMu sync.Mutex
+	workloads   = map[Sizes]*workload{}
+)
 
 func loadWorkload(sz Sizes) *workload {
+	workloadsMu.Lock()
+	defer workloadsMu.Unlock()
 	if w, ok := workloads[sz]; ok {
 		return w
 	}
@@ -102,6 +111,41 @@ func loadWorkload(sz Sizes) *workload {
 	}
 	workloads[sz] = w
 	return w
+}
+
+// CellSpec identifies one simulation cell of a sweep: a (scheme,
+// windows, policy, behaviour, sizes) point. Cells are independent and
+// deterministic, so a batch may be executed in any order, concurrently,
+// or answered from a cache, as long as the results come back in batch
+// order.
+type CellSpec struct {
+	Scheme   core.Scheme
+	Windows  int
+	Policy   sched.Policy
+	Behavior Behavior
+	Sizes    Sizes
+}
+
+// Run executes the cell in the calling goroutine.
+func (c CellSpec) Run() Result {
+	return RunSpell(c.Scheme, c.Windows, c.Policy, c.Behavior, c.Sizes)
+}
+
+// Runner executes a batch of sweep cells and returns their results in
+// the same order. RunSerial is the in-process default;
+// internal/simsvc provides a pool-backed concurrent implementation
+// with result caching. Because every cell is deterministic, any
+// correct Runner produces byte-identical figures.
+type Runner func(cells []CellSpec) []Result
+
+// RunSerial executes the cells one after another in the calling
+// goroutine — the behaviour all sweeps had before runners existed.
+func RunSerial(cells []CellSpec) []Result {
+	out := make([]Result, len(cells))
+	for i, c := range cells {
+		out[i] = c.Run()
+	}
+	return out
 }
 
 // RunSpell executes the seven-thread spell checker once.

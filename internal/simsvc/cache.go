@@ -1,0 +1,195 @@
+package simsvc
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Cache is the content-addressed result store: an in-memory LRU over
+// spec hashes, optionally backed by a directory of one JSON file per
+// entry so results survive restarts and can be shared between the CLI
+// and the daemon. Simulations are deterministic, so entries never
+// expire; eviction is purely a memory bound.
+//
+// The write discipline is single-writer-per-key by construction (a key
+// is the hash of the job that produced the value, and any two writers
+// would write identical bytes), so readers never observe a torn or
+// stale result — the property the wait-free snapshot literature calls
+// freshness comes free with content addressing.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	dir     string
+
+	hits     uint64 // in-memory hits
+	diskHits uint64 // misses answered by the disk store
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key   string
+	value *JobResult
+}
+
+// DefaultCacheEntries bounds the in-memory LRU when no explicit size
+// is configured. A full five-figure sweep at the paper's window counts
+// is 540 cells; this keeps several full sweeps resident.
+const DefaultCacheEntries = 4096
+
+// NewCache creates a cache holding at most max entries in memory
+// (DefaultCacheEntries when max <= 0). If dir is non-empty it is
+// created if needed and used as the on-disk JSON store.
+func NewCache(max int, dir string) (*Cache, error) {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("simsvc: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		dir:     dir,
+	}, nil
+}
+
+// Get returns the cached result for the key, consulting memory first
+// and then the disk store. Disk hits are promoted into memory.
+func (c *Cache) Get(key string) (*JobResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*cacheEntry).value
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+
+	if v, ok := c.loadDisk(key); ok {
+		c.mu.Lock()
+		c.diskHits++
+		c.insertLocked(key, v)
+		c.mu.Unlock()
+		return v, true
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores the result under the key, in memory and (when configured)
+// on disk. Storing an already-present key refreshes its LRU position.
+func (c *Cache) Put(key string, v *JobResult) {
+	if c == nil || v == nil {
+		return
+	}
+	c.mu.Lock()
+	c.insertLocked(key, v)
+	c.mu.Unlock()
+	c.storeDisk(key, v)
+}
+
+func (c *Cache) insertLocked(key string, v *JobResult) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).value = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, value: v})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// diskPath maps a key onto its store file; keys are hex hashes, but
+// sanitize defensively so a hostile key cannot escape the directory.
+func (c *Cache) diskPath(key string) (string, bool) {
+	if c.dir == "" || key == "" || strings.ContainsAny(key, "/\\.") {
+		return "", false
+	}
+	return filepath.Join(c.dir, key+".json"), true
+}
+
+func (c *Cache) loadDisk(key string) (*JobResult, bool) {
+	path, ok := c.diskPath(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var v JobResult
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, false // corrupt entry: treat as miss, it will be rewritten
+	}
+	return &v, true
+}
+
+func (c *Cache) storeDisk(key string, v *JobResult) {
+	path, ok := c.diskPath(key)
+	if !ok {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return
+	}
+	// Write-then-rename so concurrent readers of the store (another
+	// winsim process sharing -cachedir) never see a partial file.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`      // in-memory hits
+	DiskHits uint64 `json:"disk_hits"` // served from the disk store
+	Misses   uint64 `json:"misses"`
+}
+
+// HitRatio is (hits+disk hits) / lookups, 0 with no lookups.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.DiskHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.DiskHits) / float64(total)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:  c.ll.Len(),
+		Hits:     c.hits,
+		DiskHits: c.diskHits,
+		Misses:   c.misses,
+	}
+}

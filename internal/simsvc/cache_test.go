@@ -1,0 +1,153 @@
+package simsvc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func result(n uint64) *JobResult {
+	return &JobResult{
+		Spec: JobSpec{Experiment: ExperimentCell, Scheme: "SP", Windows: 8, Behavior: "high-fine"}.Normalize(),
+		Cell: &CellResult{Cycles: n},
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c, err := NewCache(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("aaaa"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("aaaa", result(1))
+	for i := 0; i < 3; i++ {
+		v, ok := c.Get("aaaa")
+		if !ok || v.Cell.Cycles != 1 {
+			t.Fatalf("lookup %d: got %v, %v", i, v, ok)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 1 || s.DiskHits != 0 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 3 hits / 1 miss / 1 entry", s)
+	}
+	if got := s.HitRatio(); got != 0.75 {
+		t.Fatalf("hit ratio = %v, want 0.75", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k1", result(1))
+	c.Put("k2", result(2))
+	if _, ok := c.Get("k1"); !ok { // k1 now most recently used
+		t.Fatal("k1 missing")
+	}
+	c.Put("k3", result(3)) // evicts k2, the least recently used
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 should have been evicted")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 should have survived eviction")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Fatal("k3 should be present")
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", s.Entries)
+	}
+}
+
+func TestCacheDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Experiment: ExperimentCell, Scheme: "SP", Windows: 8, Behavior: "high-fine"}
+	key := spec.Hash()
+	c1.Put(key, result(42))
+
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
+		t.Fatalf("disk entry not written: %v", err)
+	}
+
+	// A fresh cache over the same directory serves the entry from disk.
+	c2, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c2.Get(key)
+	if !ok || v.Cell == nil || v.Cell.Cycles != 42 {
+		t.Fatalf("disk lookup: got %+v, %v", v, ok)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want exactly one disk hit", s)
+	}
+	// The disk hit was promoted: the next lookup is a memory hit.
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if s := c2.Stats(); s.Hits != 1 {
+		t.Fatalf("stats = %+v, want one memory hit after promotion", s)
+	}
+}
+
+func TestCacheCorruptDiskEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := (JobSpec{Experiment: "fig11"}).Hash()
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt disk entry served as a hit")
+	}
+}
+
+// TestCacheHostileKeyStaysInDir pins that a key containing path
+// metacharacters never touches the disk store.
+func TestCacheHostileKeyStaysInDir(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("../escape", result(1))
+	if _, err := os.Stat(filepath.Join(dir, "..", "escape.json")); !os.IsNotExist(err) {
+		t.Fatal("hostile key escaped the cache directory")
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put("k", result(1)) // must not panic
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("nil stats = %+v", s)
+	}
+}
+
+func TestCacheDefaultSize(t *testing.T) {
+	c, err := NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultCacheEntries+10; i++ {
+		c.Put(fmt.Sprintf("k%05d", i), result(uint64(i)))
+	}
+	if s := c.Stats(); s.Entries != DefaultCacheEntries {
+		t.Fatalf("entries = %d, want %d", s.Entries, DefaultCacheEntries)
+	}
+}

@@ -1,0 +1,142 @@
+package simsvc
+
+import (
+	"sync"
+	"time"
+
+	"cyclicwin/internal/stats"
+)
+
+// Metrics aggregates pool observability: job state counters, worker
+// occupancy and an exact job-latency distribution (reusing the
+// repository's stats.Distribution, at microsecond resolution). All
+// methods are safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	queued   uint64
+	running  uint64
+	done     uint64
+	failed   uint64
+	canceled uint64
+
+	workers int
+	busy    int
+
+	latency stats.Distribution // microseconds per executed job
+}
+
+func (m *Metrics) setWorkers(n int) {
+	m.mu.Lock()
+	m.workers = n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobQueued() {
+	m.mu.Lock()
+	m.queued++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobStarted() {
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.busy++
+	m.mu.Unlock()
+}
+
+// jobFinished moves a running job to its terminal counter and records
+// its latency (zero elapsed values are kept: cache answers are real
+// service latencies).
+func (m *Metrics) jobFinished(st Status, elapsed time.Duration) {
+	m.mu.Lock()
+	m.running--
+	m.busy--
+	switch st {
+	case StatusDone:
+		m.done++
+	case StatusFailed:
+		m.failed++
+	default:
+		m.canceled++
+	}
+	m.latency.Observe(uint64(elapsed.Microseconds()))
+	m.mu.Unlock()
+}
+
+// jobCached accounts a submission answered directly by the result
+// cache: it counts as a completed job with (near-)zero latency and
+// never occupies a worker.
+func (m *Metrics) jobCached() {
+	m.mu.Lock()
+	m.done++
+	m.latency.Observe(0)
+	m.mu.Unlock()
+}
+
+// jobDroppedQueued accounts a job that left the queue without running
+// (pool shutdown or cancellation).
+func (m *Metrics) jobDroppedQueued() {
+	m.mu.Lock()
+	m.queued--
+	m.canceled++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON shape served by GET /metrics.
+type MetricsSnapshot struct {
+	JobsQueued   uint64 `json:"jobs_queued"`
+	JobsRunning  uint64 `json:"jobs_running"`
+	JobsDone     uint64 `json:"jobs_done"`
+	JobsFailed   uint64 `json:"jobs_failed"`
+	JobsCanceled uint64 `json:"jobs_canceled"`
+
+	Workers         int     `json:"workers"`
+	BusyWorkers     int     `json:"busy_workers"`
+	PoolUtilization float64 `json:"pool_utilization"` // busy / workers
+
+	CacheEntries  int     `json:"cache_entries"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheDiskHits uint64  `json:"cache_disk_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	JobLatencyMeanMS float64 `json:"job_latency_mean_ms"`
+	JobLatencyP50MS  float64 `json:"job_latency_p50_ms"`
+	JobLatencyP99MS  float64 `json:"job_latency_p99_ms"`
+	JobLatencyMaxMS  float64 `json:"job_latency_max_ms"`
+	JobsMeasured     uint64  `json:"jobs_measured"`
+}
+
+// snapshot folds the cache counters into a point-in-time view.
+func (m *Metrics) snapshot(cs CacheStats) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		JobsQueued:   m.queued,
+		JobsRunning:  m.running,
+		JobsDone:     m.done,
+		JobsFailed:   m.failed,
+		JobsCanceled: m.canceled,
+
+		Workers:     m.workers,
+		BusyWorkers: m.busy,
+
+		CacheEntries:  cs.Entries,
+		CacheHits:     cs.Hits,
+		CacheDiskHits: cs.DiskHits,
+		CacheMisses:   cs.Misses,
+		CacheHitRatio: cs.HitRatio(),
+
+		JobLatencyMeanMS: m.latency.Mean() / 1e3,
+		JobLatencyP50MS:  float64(m.latency.Quantile(0.5)) / 1e3,
+		JobLatencyP99MS:  float64(m.latency.Quantile(0.99)) / 1e3,
+		JobLatencyMaxMS:  float64(m.latency.Max()) / 1e3,
+		JobsMeasured:     m.latency.N(),
+	}
+	if m.workers > 0 {
+		s.PoolUtilization = float64(m.busy) / float64(m.workers)
+	}
+	return s
+}

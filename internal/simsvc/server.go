@@ -1,0 +1,152 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server is the HTTP front-end over a Pool, served by cmd/winsimd.
+//
+//	POST /v1/jobs         submit one spec or a batch; ?wait=1 blocks
+//	GET  /v1/jobs/{id}    job status, including the result when done
+//	GET  /v1/experiments  the experiment catalog
+//	GET  /healthz         liveness
+//	GET  /metrics         pool, cache and latency counters (JSON)
+type Server struct {
+	pool  *Pool
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer builds the handler tree over the pool.
+func NewServer(pool *Pool) *Server {
+	s := &Server{pool: pool, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// submitRequest accepts every natural submission shape: a bare spec
+// object, {"spec": {...}}, or {"specs": [...]}.
+type submitRequest struct {
+	Spec  *JobSpec  `json:"spec"`
+	Specs []JobSpec `json:"specs"`
+	JobSpec
+}
+
+func (r submitRequest) all() []JobSpec {
+	var specs []JobSpec
+	if r.Spec != nil {
+		specs = append(specs, *r.Spec)
+	}
+	specs = append(specs, r.Specs...)
+	if r.JobSpec.Experiment != "" {
+		specs = append(specs, r.JobSpec)
+	}
+	return specs
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	specs := req.all()
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`no specs: send a spec object, {"spec":{...}} or {"specs":[...]}`))
+		return
+	}
+
+	jobs := make([]*Job, len(specs))
+	for i, spec := range specs {
+		j, err := s.pool.Submit(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("spec %d: %w", i, err))
+			return
+		}
+		jobs[i] = j
+	}
+
+	wait := r.URL.Query().Get("wait")
+	if wait == "1" || wait == "true" {
+		for _, j := range jobs {
+			if _, err := j.Wait(r.Context()); err != nil {
+				writeError(w, http.StatusGatewayTimeout, fmt.Errorf("waiting for %s: %w", j.ID(), err))
+				return
+			}
+		}
+	}
+
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View(wait == "1" || wait == "true")
+	}
+	code := http.StatusAccepted
+	if views[0].Status == StatusDone || views[0].Status == StatusFailed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.pool.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View(true))
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	list := Experiments()
+	out := make([]map[string]any, 0, len(list)+1)
+	out = append(out, map[string]any{
+		"name":        ExperimentCell,
+		"description": "one (scheme, windows, policy, behavior, sizes) spell-checker simulation cell",
+		"figure":      false,
+	})
+	for _, e := range list {
+		out = append(out, map[string]any{
+			"name":        e.Name,
+			"description": e.Description,
+			"figure":      e.Figure,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.pool.Workers(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Metrics())
+}

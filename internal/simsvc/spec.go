@@ -1,0 +1,289 @@
+// Package simsvc turns the repository's deterministic simulations into
+// a schedulable, cacheable, servable workload: a canonical job
+// specification with a stable content hash, a worker pool that executes
+// any set of jobs concurrently with per-job timeouts and panic
+// isolation, a content-addressed result cache (in-memory LRU plus an
+// optional on-disk JSON store), and an HTTP front-end (cmd/winsimd).
+//
+// Every simulation in this repository is a pure function of its
+// parameters, which is what makes the whole package sound: a JobSpec
+// hash identifies its result forever, concurrent execution cannot
+// change any answer, and a cache never goes stale.
+package simsvc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/harness"
+	"cyclicwin/internal/sched"
+	"cyclicwin/internal/stats"
+)
+
+// ExperimentCell is the experiment name of a single simulation cell —
+// one (scheme, windows, policy, behaviour, sizes) spell-checker run,
+// the unit the figure sweeps are made of.
+const ExperimentCell = "cell"
+
+// JobSpec is the canonical description of one simulation job. Either a
+// single cell (Experiment == ExperimentCell, using the cell fields) or
+// a named experiment from the catalog (table1, table2, fig11..fig15,
+// ablation, activity, tail, transfer, hw), which renders the full
+// table/figure. The zero values of optional fields mean "the default",
+// and Normalize folds every spelling of the default onto one canonical
+// form so that equivalent specs hash identically.
+type JobSpec struct {
+	// Experiment is ExperimentCell or a catalog experiment name.
+	Experiment string `json:"experiment"`
+
+	// Cell parameters (Experiment == ExperimentCell only).
+	Scheme   string `json:"scheme,omitempty"`   // NS, SNP or SP
+	Windows  int    `json:"windows,omitempty"`  // 2..32
+	Policy   string `json:"policy,omitempty"`   // FIFO (default) or WS
+	Behavior string `json:"behavior,omitempty"` // e.g. high-fine (see harness.Behaviors)
+
+	// Workload scale. Zero means the quick sizes; Full selects the
+	// paper's exact input sizes and is folded into Draft/Dict by
+	// Normalize.
+	Draft int  `json:"draft,omitempty"`
+	Dict  int  `json:"dict,omitempty"`
+	Full  bool `json:"full,omitempty"`
+
+	// WindowList is the sweep range for figure experiments; empty
+	// means the paper's 4..32 sweep. Ignored by cells (use Windows).
+	WindowList []int `json:"window_list,omitempty"`
+
+	// Extension knobs (cells only; see core.Config).
+	SearchAlloc  bool `json:"search_alloc,omitempty"`
+	HWAssist     bool `json:"hw_assist,omitempty"`
+	TrapTransfer int  `json:"trap_transfer,omitempty"` // 0 and 1 both mean one window
+}
+
+// Normalize returns the spec with every default spelled canonically:
+// Full folded into Draft/Dict, empty sizes replaced by the quick
+// sizes, the default policy written as FIFO, TrapTransfer 1 folded to
+// 0, and a nil window list for cells. Hash and the cache key are
+// defined over the normalized form.
+func (s JobSpec) Normalize() JobSpec {
+	if s.Full {
+		s.Draft, s.Dict = harness.FullSizes.Draft, harness.FullSizes.Dict
+		s.Full = false
+	}
+	if s.Draft == 0 {
+		s.Draft = harness.QuickSizes.Draft
+	}
+	if s.Dict == 0 {
+		s.Dict = harness.QuickSizes.Dict
+	}
+	if s.Experiment == ExperimentCell {
+		if s.Policy == "" {
+			s.Policy = sched.FIFO.String()
+		}
+		if s.TrapTransfer == 1 {
+			s.TrapTransfer = 0
+		}
+		s.WindowList = nil
+	} else {
+		// Cell-only fields cannot influence a named experiment.
+		s.Scheme, s.Windows, s.Policy, s.Behavior = "", 0, "", ""
+		s.SearchAlloc, s.HWAssist, s.TrapTransfer = false, false, 0
+		if len(s.WindowList) == 0 {
+			s.WindowList = append([]int(nil), harness.WindowCounts...)
+		}
+	}
+	return s
+}
+
+// Validate reports whether the normalized spec names a runnable job.
+func (s JobSpec) Validate() error {
+	s = s.Normalize()
+	if s.Experiment == ExperimentCell {
+		if _, ok := schemeByName(s.Scheme); !ok {
+			return fmt.Errorf("simsvc: unknown scheme %q (want NS, SNP or SP)", s.Scheme)
+		}
+		if s.Windows < 2 || s.Windows > 32 {
+			return fmt.Errorf("simsvc: windows %d out of range 2..32", s.Windows)
+		}
+		if _, ok := policyByName(s.Policy); !ok {
+			return fmt.Errorf("simsvc: unknown policy %q (want FIFO or WS)", s.Policy)
+		}
+		if _, ok := harness.BehaviorByName(s.Behavior); !ok {
+			return fmt.Errorf("simsvc: unknown behavior %q", s.Behavior)
+		}
+		if s.TrapTransfer < 0 || s.TrapTransfer > 32 {
+			return fmt.Errorf("simsvc: trap_transfer %d out of range 0..32", s.TrapTransfer)
+		}
+		return nil
+	}
+	if _, ok := LookupExperiment(s.Experiment); !ok {
+		return fmt.Errorf("simsvc: unknown experiment %q", s.Experiment)
+	}
+	for _, n := range s.WindowList {
+		if n < 2 || n > 32 {
+			return fmt.Errorf("simsvc: window count %d out of range 2..32", n)
+		}
+	}
+	if s.Draft < 0 || s.Dict < 0 {
+		return fmt.Errorf("simsvc: negative workload size")
+	}
+	return nil
+}
+
+// Hash is the stable content address of the job: a SHA-256 over a
+// versioned, field-ordered rendering of the normalized spec. Two specs
+// that describe the same simulation hash identically; any semantic
+// difference produces a different hash.
+func (s JobSpec) Hash() string {
+	n := s.Normalize()
+	h := sha256.New()
+	fmt.Fprintf(h, "simsvc-spec-v1|exp=%s|scheme=%s|windows=%d|policy=%s|behavior=%s|draft=%d|dict=%d|wl=%v|search=%t|hw=%t|tt=%d",
+		n.Experiment, n.Scheme, n.Windows, n.Policy, n.Behavior,
+		n.Draft, n.Dict, n.WindowList, n.SearchAlloc, n.HWAssist, n.TrapTransfer)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Sizes returns the workload scale of the normalized spec.
+func (s JobSpec) Sizes() harness.Sizes {
+	n := s.Normalize()
+	return harness.Sizes{Draft: n.Draft, Dict: n.Dict}
+}
+
+func schemeByName(name string) (core.Scheme, bool) {
+	for _, s := range core.Schemes {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func policyByName(name string) (sched.Policy, bool) {
+	switch name {
+	case sched.FIFO.String():
+		return sched.FIFO, true
+	case sched.WorkingSet.String():
+		return sched.WorkingSet, true
+	}
+	return 0, false
+}
+
+// CellSpec converts a harness sweep cell into its canonical job spec.
+func CellSpec(c harness.CellSpec) JobSpec {
+	return JobSpec{
+		Experiment: ExperimentCell,
+		Scheme:     c.Scheme.String(),
+		Windows:    c.Windows,
+		Policy:     c.Policy.String(),
+		Behavior:   c.Behavior.Name,
+		Draft:      c.Sizes.Draft,
+		Dict:       c.Sizes.Dict,
+	}.Normalize()
+}
+
+// CellResult is the JSON-stable outcome of one simulation cell: the
+// simulated execution time, the scalar event counters, the per-thread
+// suspension counts (paper order T1..T7) and the misspelled-word count
+// used as an output checksum. The exact switch-cost distribution is
+// deliberately not cached — no sweep metric reads it, and omitting it
+// keeps cache entries small and canonical.
+type CellResult struct {
+	Cycles uint64 `json:"cycles"`
+
+	Switches             uint64 `json:"switches"`
+	SwitchSaves          uint64 `json:"switch_saves"`
+	SwitchRestores       uint64 `json:"switch_restores"`
+	SwitchCycles         uint64 `json:"switch_cycles"`
+	ZeroTransferSwitches uint64 `json:"zero_transfer_switches"`
+	Saves                uint64 `json:"saves"`
+	Restores             uint64 `json:"restores"`
+	OverflowTraps        uint64 `json:"overflow_traps"`
+	UnderflowTraps       uint64 `json:"underflow_traps"`
+	TrapSaves            uint64 `json:"trap_saves"`
+	TrapRestores         uint64 `json:"trap_restores"`
+
+	ThreadSuspensions [7]uint64 `json:"thread_suspensions"`
+	Misspelled        int       `json:"misspelled"`
+}
+
+func cellResultOf(r harness.Result) *CellResult {
+	c := r.Counters
+	return &CellResult{
+		Cycles:               r.Cycles,
+		Switches:             c.Switches,
+		SwitchSaves:          c.SwitchSaves,
+		SwitchRestores:       c.SwitchRestores,
+		SwitchCycles:         c.SwitchCycles,
+		ZeroTransferSwitches: c.ZeroTransferSwitches,
+		Saves:                c.Saves,
+		Restores:             c.Restores,
+		OverflowTraps:        c.OverflowTraps,
+		UnderflowTraps:       c.UnderflowTraps,
+		TrapSaves:            c.TrapSaves,
+		TrapRestores:         c.TrapRestores,
+		ThreadSuspensions:    r.ThreadSuspensions,
+		Misspelled:           r.Misspelled,
+	}
+}
+
+// harnessResult rebuilds the harness view of a cell result (minus the
+// switch-cost distribution, see CellResult) for the given spec.
+func (cr *CellResult) harnessResult(s JobSpec) harness.Result {
+	s = s.Normalize()
+	scheme, _ := schemeByName(s.Scheme)
+	policy, _ := policyByName(s.Policy)
+	b, _ := harness.BehaviorByName(s.Behavior)
+	return harness.Result{
+		Scheme:   scheme,
+		Windows:  s.Windows,
+		Policy:   policy,
+		Behavior: b,
+		Cycles:   cr.Cycles,
+		Counters: stats.Counters{
+			Switches:             cr.Switches,
+			SwitchSaves:          cr.SwitchSaves,
+			SwitchRestores:       cr.SwitchRestores,
+			SwitchCycles:         cr.SwitchCycles,
+			ZeroTransferSwitches: cr.ZeroTransferSwitches,
+			Saves:                cr.Saves,
+			Restores:             cr.Restores,
+			OverflowTraps:        cr.OverflowTraps,
+			UnderflowTraps:       cr.UnderflowTraps,
+			TrapSaves:            cr.TrapSaves,
+			TrapRestores:         cr.TrapRestores,
+		},
+		ThreadSuspensions: cr.ThreadSuspensions,
+		Misspelled:        cr.Misspelled,
+	}
+}
+
+// JobResult is the outcome of any job. Cells fill Cell; named
+// experiments fill Output (the rendered table/figure text) and, for
+// figures, CSV (the machine-readable series data).
+type JobResult struct {
+	Spec      JobSpec     `json:"spec"`
+	Cell      *CellResult `json:"cell,omitempty"`
+	Output    string      `json:"output,omitempty"`
+	CSV       string      `json:"csv,omitempty"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// runCell executes one simulation cell in the calling goroutine.
+func runCell(s JobSpec) (*CellResult, error) {
+	s = s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	scheme, _ := schemeByName(s.Scheme)
+	policy, _ := policyByName(s.Policy)
+	b, _ := harness.BehaviorByName(s.Behavior)
+	cfg := core.Config{
+		Windows:      s.Windows,
+		SearchAlloc:  s.SearchAlloc,
+		HWAssist:     s.HWAssist,
+		TrapTransfer: s.TrapTransfer,
+	}
+	r := harness.RunSpellConfig(cfg, scheme, policy, b, s.Sizes())
+	return cellResultOf(r), nil
+}
