@@ -83,6 +83,21 @@ func BenchmarkFig11(b *testing.B) {
 	}
 }
 
+// BenchmarkFig11EndToEnd regenerates the entire Figure 11 sweep (every
+// scheme, window count and granularity) per iteration — the end-to-end
+// wall-clock number for the whole evaluation pipeline. The simulated
+// results are pinned byte-for-byte by the harness golden test; this
+// benchmark tracks how long producing them takes.
+func BenchmarkFig11EndToEnd(b *testing.B) {
+	var f harness.Figure
+	for i := 0; i < b.N; i++ {
+		f = harness.RunFig11(harness.QuickSizes, benchWindows)
+	}
+	if len(f.Series) == 0 {
+		b.Fatal("empty figure")
+	}
+}
+
 // BenchmarkFig12 reports the average context-switch time at high
 // concurrency (the cyc/switch metric is the figure's y axis).
 func BenchmarkFig12(b *testing.B) {

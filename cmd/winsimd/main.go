@@ -13,6 +13,7 @@
 //	GET  /v1/experiments  experiment catalog
 //	GET  /healthz         liveness
 //	GET  /metrics         pool/cache/latency counters
+//	GET  /debug/pprof/    live profiling (only with -pprof)
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight jobs before exiting; a second signal aborts immediately.
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +42,7 @@ func main() {
 	cacheSize := flag.Int("cachesize", 0, "in-memory cache entries (0 = default)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
 	drainFor := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	cache, err := simsvc.NewCache(*cacheSize, *cacheDir)
@@ -52,9 +55,23 @@ func main() {
 		Cache:      cache,
 	})
 
+	var handler http.Handler = simsvc.NewServer(pool)
+	if *enablePprof {
+		// Off by default: the profile endpoints expose internals and cost
+		// CPU, so they are opt-in rather than wired into the API server.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           simsvc.NewServer(pool),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -146,6 +146,13 @@ const (
 	InstrMem    = 2 // load/store
 	InstrBranch = 1 // taken or untaken branch (delay slot modelled as Instr)
 	InstrCall   = 1 // call/jmpl
+
+	// InstrMul and InstrDiv are the extra cycles of the iterative
+	// multiply and divide units of the modelled S-20 SPARC, charged on
+	// top of the base Instr cycle (so SMUL costs 1+4 and SDIV 1+12
+	// in total). See DESIGN.md, "Cycle model".
+	InstrMul = 4
+	InstrDiv = 12
 )
 
 // Counter accumulates simulated cycles. Measurement can be paused, which

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestFigureOutputsGolden pins the figure sweeps byte-for-byte to
+// output captured before the fast interpreter core landed: any change
+// to the simulated cycle counts, switch costs, or rendering shows up as
+// a diff here. Regenerate testdata/figures_quick_golden.txt only for an
+// intentional model change, and say so in the commit.
+func TestFigureOutputsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-size sweep; skipped in -short mode")
+	}
+	windows := []int{4, 6, 8, 16, 32}
+	sz := QuickSizes
+	var sb strings.Builder
+	figs := []struct {
+		name string
+		run  func(Sizes, []int) Figure
+	}{
+		{"fig11", RunFig11},
+		{"fig12", RunFig12},
+		{"fig13", RunFig13},
+		{"fig14", RunFig14},
+		{"fig15", RunFig15},
+	}
+	for _, fg := range figs {
+		sb.WriteString("== " + fg.name + " ==\n")
+		f := fg.run(sz, windows)
+		f.Render(&sb)
+		if err := f.WriteCSV(&sb); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", fg.name, err)
+		}
+	}
+	want, err := os.ReadFile("testdata/figures_quick_golden.txt")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	got := sb.String()
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("figure output diverged from golden at line %d:\n got:  %s\n want: %s",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("figure output length diverged from golden: got %d lines, want %d",
+		len(gotLines), len(wantLines))
+}

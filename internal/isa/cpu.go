@@ -14,6 +14,20 @@ import (
 // register accesses go through the manager's current window, and save
 // and restore instructions invoke the manager, where the scheme's trap
 // handlers run.
+//
+// Execution has two paths with byte-identical observable behaviour
+// (registers, memory, console, cycle totals, counters, errors):
+//
+//   - Step is the reference slow path: full decode of the raw word,
+//     every register access through the Manager interface, every cycle
+//     charged directly to the counter. It is the semantic authority.
+//   - Run, by default, uses the fast path of fast.go: predecoded
+//     instructions, direct window-register pointers (when the manager
+//     implements core.WindowAccessor), and batched cycle accounting.
+//     SetFastPath(false) makes Run loop over Step instead.
+//
+// The differential tests in fastpath_test.go pin the two paths to each
+// other on randomized, corpus and self-modifying programs.
 type CPU struct {
 	Mgr core.Manager
 	Mem *mem.Memory
@@ -28,15 +42,44 @@ type CPU struct {
 
 	// Steps counts executed instructions (a runaway guard uses it).
 	Steps uint64
+
+	// OnStep, when non-nil, is called before each instruction executes
+	// with the fetch address and the decoded instruction. The nil check
+	// is the only cost when unset, so tracing hooks are allocation-free
+	// for everyone who does not use them. The hook must not mutate the
+	// machine and must not read the cycle counter (the fast path may
+	// hold batched cycles not yet flushed to it).
+	OnStep func(pc uint32, in *Instr)
+
+	// Fast-path state: the predecoded instruction cache with its
+	// current-page memo, the devirtualized window accessor, and the
+	// cached current-window pointers (winOK marks them fresh).
+	fast       bool
+	icache     *icache
+	curPage    *icachePage
+	curPageNum uint32
+	scratch    Instr // decode buffer for unaligned fetch addresses
+	wa         core.WindowAccessor
+	win        core.FastWindow
+	winOK      bool
+	pend       uint64 // batched cycles not yet flushed to the counter
 }
 
 type flags struct{ n, z, v, c bool }
 
 // NewCPU returns a processor executing on the given manager and memory.
-// A thread must be running on the manager before Step is called.
+// A thread must be running on the manager before Step is called. The
+// fast execution path is enabled by default; SetFastPath(false) selects
+// the reference interpreter.
 func NewCPU(mgr core.Manager, m *mem.Memory) *CPU {
-	return &CPU{Mgr: mgr, Mem: m}
+	c := &CPU{Mgr: mgr, Mem: m, fast: true, icache: newICache(m)}
+	c.wa, _ = mgr.(core.WindowAccessor)
+	return c
 }
+
+// SetFastPath selects between the fast execution path (default) and the
+// reference Step loop for Run. Both produce identical machine state.
+func (c *CPU) SetFastPath(on bool) { c.fast = on }
 
 // PC returns the current program counter.
 func (c *CPU) PC() uint32 { return c.pc }
@@ -62,6 +105,9 @@ func (c *CPU) Step() (yielded bool, err error) {
 	}
 	w := c.Mem.Load32(c.pc)
 	in := Decode(w)
+	if c.OnStep != nil {
+		c.OnStep(c.pc, &in)
+	}
 	next := c.pc + 4
 	cyc := c.Mgr.Cycles()
 	c.Steps++
@@ -168,13 +214,13 @@ func (c *CPU) arith(in Instr, next *uint32) error {
 		c.SetReg(in.Rd, r)
 	case Op3SMul:
 		c.SetReg(in.Rd, uint32(int32(a)*int32(b)))
-		cyc.Add(4) // multiply is multi-cycle on the S-20
+		cyc.Add(cycles.InstrMul) // multiply is multi-cycle on the S-20
 	case Op3SDiv:
 		if b == 0 {
 			return fmt.Errorf("isa: division by zero at %#x", c.pc)
 		}
 		c.SetReg(in.Rd, uint32(int32(a)/int32(b)))
-		cyc.Add(12)
+		cyc.Add(cycles.InstrDiv)
 	case Op3Sll:
 		c.SetReg(in.Rd, a<<(b&31))
 	case Op3Srl:
@@ -333,8 +379,12 @@ func (c *CPU) setFlagsSub(a, b, r uint32) {
 
 // Run executes until halt, yield, error or the step limit; limit 0 means
 // no limit. It returns whether the program yielded (false means halted)
-// and any execution error.
+// and any execution error. By default it runs on the fast path (see
+// fast.go); SetFastPath(false) selects the reference Step loop.
 func (c *CPU) Run(limit uint64) (yielded bool, err error) {
+	if c.fast {
+		return c.runFast(limit)
+	}
 	for !c.halted {
 		if limit > 0 && c.Steps >= limit {
 			return false, fmt.Errorf("isa: step limit %d exceeded at pc %#x", limit, c.pc)

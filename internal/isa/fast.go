@@ -1,0 +1,328 @@
+package isa
+
+import (
+	"fmt"
+
+	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/regwin"
+)
+
+// This file is the fast interpreter core. It executes exactly the
+// semantics of the reference path (Step in cpu.go) with three inner-loop
+// costs removed:
+//
+//   - fetch/decode: instructions come predecoded from the per-page
+//     icache (predecode.go) instead of Decode on every executed word;
+//     stores into cached text invalidate the overwritten words.
+//   - register access: reads and writes go through cached direct
+//     pointers into the register file (core.FastWindow), refreshed only
+//     when the CWP can have moved (save, restore, or between Run
+//     calls); managers that do not implement core.WindowAccessor (the
+//     Reference oracle, the trace decorator) fall back to Mgr.Reg.
+//   - cycle accounting: per-instruction cycles accumulate in c.pend and
+//     flush to the shared counter only at basic-block-observable points
+//     (before any Manager call, on yield/halt/error/limit, and when Run
+//     returns), so totals seen by any outside observer — including a
+//     trace decorator snapshotting around Save/Restore — are identical
+//     to the reference path's.
+//
+// Any behavioural change here must keep fastpath_test.go green: the
+// differential tests execute both paths and require identical
+// registers, memory, console output, cycle totals and errors.
+
+// flushCycles drains the batched cycle count into the shared counter.
+// It must be called before control reaches anything that can observe
+// the counter: every Manager call and every return from runFast.
+func (c *CPU) flushCycles() {
+	if c.pend != 0 {
+		c.Mgr.Cycles().Add(c.pend)
+		c.pend = 0
+	}
+}
+
+// fetch returns the predecoded instruction at pc. Unaligned fetch
+// addresses bypass the cache (their word slot would collide with the
+// aligned word) and decode into a scratch buffer.
+func (c *CPU) fetch(pc uint32) *Instr {
+	if pc&3 != 0 {
+		c.scratch = Decode(c.Mem.Load32(pc))
+		return &c.scratch
+	}
+	pn := pc >> icachePageShift
+	p := c.curPage
+	if p == nil || pn != c.curPageNum {
+		p = c.icache.page(pn)
+		c.curPage, c.curPageNum = p, pn
+	}
+	idx := (pc & icachePageMask) >> 2
+	if !p.decoded[idx] {
+		p.instrs[idx] = Decode(c.Mem.Load32(pc))
+		p.decoded[idx] = true
+	}
+	return &p.instrs[idx]
+}
+
+// rdReg reads register r of the current window through the cached
+// window pointers, lazily refreshing them; managers without the fast
+// interface go through Mgr.Reg.
+func (c *CPU) rdReg(r int) uint32 {
+	if !c.winOK {
+		if c.wa == nil {
+			return c.Mgr.Reg(r)
+		}
+		c.win = c.wa.FastWindow()
+		c.winOK = true
+	}
+	return c.win.Reg(r)
+}
+
+// wrReg writes register r of the current window, mirroring rdReg.
+func (c *CPU) wrReg(r int, v uint32) {
+	if !c.winOK {
+		if c.wa == nil {
+			c.Mgr.SetReg(r, v)
+			return
+		}
+		c.win = c.wa.FastWindow()
+		c.winOK = true
+	}
+	c.win.SetReg(r, v)
+}
+
+func (c *CPU) operand2Fast(in *Instr) uint32 {
+	if in.Imm {
+		return uint32(in.Simm13)
+	}
+	return c.rdReg(in.Rs2)
+}
+
+// runFast is the fast-path Run loop.
+func (c *CPU) runFast(limit uint64) (yielded bool, err error) {
+	// The window pointers may be stale from a previous Run call: a
+	// context switch (or window relocation) can have happened in
+	// between, so start unfetched and let the first access refresh.
+	c.winOK = false
+	for !c.halted {
+		if limit > 0 && c.Steps >= limit {
+			c.flushCycles()
+			return false, fmt.Errorf("isa: step limit %d exceeded at pc %#x", limit, c.pc)
+		}
+		pc := c.pc
+		in := c.fetch(pc)
+		if c.OnStep != nil {
+			c.OnStep(pc, in)
+		}
+		next := pc + 4
+		c.Steps++
+
+		switch in.Op {
+		case opCall:
+			c.wrReg(regwin.RegO7, pc)
+			next = uint32(int64(pc) + int64(in.Disp)*4)
+			c.pend += cycles.InstrCall
+
+		case opBranch:
+			switch in.Op2 {
+			case op2Sethi:
+				c.wrReg(in.Rd, in.Imm22<<10)
+				c.pend += cycles.Instr
+			case op2Bicc:
+				if c.cond(in.Cond) {
+					next = uint32(int64(pc) + int64(in.Disp)*4)
+				}
+				c.pend += cycles.InstrBranch
+			default:
+				c.flushCycles()
+				return false, fmt.Errorf("isa: unsupported op2 %d at %#x", in.Op2, pc)
+			}
+
+		case opArith:
+			if err := c.arithFast(in, &next); err != nil {
+				c.flushCycles()
+				return false, err
+			}
+
+		case opMem:
+			if err := c.memOpFast(in); err != nil {
+				c.flushCycles()
+				return false, err
+			}
+			c.pend += cycles.InstrMem
+		}
+
+		c.pc = next
+		if c.yield {
+			c.yield = false
+			c.flushCycles()
+			return true, nil
+		}
+	}
+	c.flushCycles()
+	return false, nil
+}
+
+// arithFast mirrors arith (cpu.go) on the fast path. The early-return
+// cases (jmpl, save, restore, ticc) charge their own cycles; every
+// other successful case falls through to the trailing Instr charge,
+// exactly as the reference path does.
+func (c *CPU) arithFast(in *Instr, next *uint32) error {
+	a := c.rdReg(in.Rs1)
+	b := c.operand2Fast(in)
+	switch in.Op3 {
+	case Op3Add, Op3AddCC:
+		r := a + b
+		if in.Op3 == Op3AddCC {
+			c.setFlagsAdd(a, b, r)
+		}
+		c.wrReg(in.Rd, r)
+	case Op3Sub, Op3SubCC:
+		r := a - b
+		if in.Op3 == Op3SubCC {
+			c.setFlagsSub(a, b, r)
+		}
+		c.wrReg(in.Rd, r)
+	case Op3AddX, Op3AddXCC:
+		carry := uint32(0)
+		if c.icc.c {
+			carry = 1
+		}
+		r := a + b + carry
+		if in.Op3 == Op3AddXCC {
+			c.setFlagsAdd(a, b+carry, r)
+		}
+		c.wrReg(in.Rd, r)
+	case Op3SubX, Op3SubXCC:
+		borrow := uint32(0)
+		if c.icc.c {
+			borrow = 1
+		}
+		r := a - b - borrow
+		if in.Op3 == Op3SubXCC {
+			c.setFlagsSub(a, b+borrow, r)
+		}
+		c.wrReg(in.Rd, r)
+	case Op3And, Op3AndCC:
+		r := a & b
+		if in.Op3 == Op3AndCC {
+			c.setFlagsLogic(r)
+		}
+		c.wrReg(in.Rd, r)
+	case Op3Or, Op3OrCC:
+		r := a | b
+		if in.Op3 == Op3OrCC {
+			c.setFlagsLogic(r)
+		}
+		c.wrReg(in.Rd, r)
+	case Op3Xor, Op3XorCC:
+		r := a ^ b
+		if in.Op3 == Op3XorCC {
+			c.setFlagsLogic(r)
+		}
+		c.wrReg(in.Rd, r)
+	case Op3SMul:
+		c.wrReg(in.Rd, uint32(int32(a)*int32(b)))
+		c.pend += cycles.InstrMul
+	case Op3SDiv:
+		if b == 0 {
+			return fmt.Errorf("isa: division by zero at %#x", c.pc)
+		}
+		c.wrReg(in.Rd, uint32(int32(a)/int32(b)))
+		c.pend += cycles.InstrDiv
+	case Op3Sll:
+		c.wrReg(in.Rd, a<<(b&31))
+	case Op3Srl:
+		c.wrReg(in.Rd, a>>(b&31))
+	case Op3Sra:
+		c.wrReg(in.Rd, uint32(int32(a)>>(b&31)))
+	case Op3Jmpl:
+		c.wrReg(in.Rd, c.pc)
+		*next = a + b
+		c.pend += cycles.InstrCall
+		return nil
+	case Op3Save:
+		// Operands were read in the caller's window; the manager moves
+		// the CWP (possibly through an overflow trap), so the cached
+		// window pointers go stale and the result lands in the new
+		// window. Cycles flush first so a trace decorator's snapshots
+		// around Save match the reference path.
+		c.flushCycles()
+		c.Mgr.Save()
+		c.winOK = false
+		c.wrReg(in.Rd, a+b)
+		return nil
+	case Op3Restore:
+		if t := c.Mgr.Running(); t != nil && t.Depth() == 0 {
+			return fmt.Errorf("isa: restore past the outermost frame at %#x", c.pc)
+		}
+		c.flushCycles()
+		c.Mgr.Restore()
+		c.winOK = false
+		c.wrReg(in.Rd, a+b)
+		return nil
+	case Op3Ticc:
+		return c.trapFast(int(a + b))
+	default:
+		return fmt.Errorf("isa: unsupported op3 %#x at %#x", in.Op3, c.pc)
+	}
+	c.pend += cycles.Instr
+	return nil
+}
+
+// trapFast mirrors trap (cpu.go); the TrapEnterExit charge joins the
+// batch since nothing observes the counter before the next flush point.
+func (c *CPU) trapFast(n int) error {
+	switch n {
+	case TrapHalt:
+		c.halted = true
+	case TrapYield:
+		c.yield = true
+	case TrapPutc:
+		c.Console.WriteByte(byte(c.rdReg(regwin.RegO0)))
+	default:
+		return fmt.Errorf("isa: unknown software trap %d at %#x", n, c.pc)
+	}
+	c.pend += cycles.TrapEnterExit
+	return nil
+}
+
+// memOpFast mirrors memOp (cpu.go) with devirtualized register access.
+func (c *CPU) memOpFast(in *Instr) error {
+	addr := c.rdReg(in.Rs1) + c.operand2Fast(in)
+	switch in.Op3 {
+	case Op3Ld:
+		if addr&3 != 0 {
+			return fmt.Errorf("isa: misaligned load at %#x (addr %#x)", c.pc, addr)
+		}
+		c.wrReg(in.Rd, c.Mem.Load32(addr))
+	case Op3Ldub:
+		c.wrReg(in.Rd, uint32(c.Mem.Load8(addr)))
+	case Op3Ldsb:
+		c.wrReg(in.Rd, uint32(int32(int8(c.Mem.Load8(addr)))))
+	case Op3Lduh, Op3Ldsh:
+		if addr&1 != 0 {
+			return fmt.Errorf("isa: misaligned halfword load at %#x (addr %#x)", c.pc, addr)
+		}
+		h := uint32(c.Mem.Load8(addr))<<8 | uint32(c.Mem.Load8(addr+1))
+		if in.Op3 == Op3Ldsh {
+			h = uint32(int32(int16(h)))
+		}
+		c.wrReg(in.Rd, h)
+	case Op3Sth:
+		if addr&1 != 0 {
+			return fmt.Errorf("isa: misaligned halfword store at %#x (addr %#x)", c.pc, addr)
+		}
+		v := c.rdReg(in.Rd)
+		c.Mem.Store8(addr, byte(v>>8))
+		c.Mem.Store8(addr+1, byte(v))
+	case Op3St:
+		if addr&3 != 0 {
+			return fmt.Errorf("isa: misaligned store at %#x (addr %#x)", c.pc, addr)
+		}
+		c.Mem.Store32(addr, c.rdReg(in.Rd))
+	case Op3Stb:
+		c.Mem.Store8(addr, byte(c.rdReg(in.Rd)))
+	default:
+		return fmt.Errorf("isa: unsupported memory op3 %#x at %#x", in.Op3, c.pc)
+	}
+	return nil
+}

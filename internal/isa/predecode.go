@@ -1,0 +1,79 @@
+package isa
+
+import "cyclicwin/internal/mem"
+
+// The predecoded instruction cache works at the memory's page
+// granularity: each cached page holds one decoded Instr per word slot,
+// populated lazily at first fetch, so the fast interpreter's
+// fetch/decode path is an array load plus a validity-bit check.
+//
+// Coherence with self-modifying code comes from the memory's store
+// watcher: every store whose address overlaps a cached page clears the
+// decoded bits of the overwritten words, forcing a re-decode at the
+// next fetch. Stores outside the cached page range (data, stacks,
+// window save areas) are rejected in two compares.
+const (
+	icachePageShift = 12
+	icachePageSize  = 1 << icachePageShift
+	icachePageMask  = icachePageSize - 1
+	icachePageWords = icachePageSize / 4
+)
+
+// icachePage caches the decoded form of one page of text.
+type icachePage struct {
+	decoded [icachePageWords]bool
+	instrs  [icachePageWords]Instr
+}
+
+// icache is a per-CPU predecoded instruction cache.
+type icache struct {
+	pages map[uint32]*icachePage
+	// lo and hi bound the cached page numbers so the store watcher can
+	// reject unrelated stores cheaply; lo > hi means the cache is empty.
+	lo, hi uint32
+}
+
+func newICache(m *mem.Memory) *icache {
+	ic := &icache{pages: make(map[uint32]*icachePage), lo: ^uint32(0), hi: 0}
+	m.OnStore(ic.invalidate)
+	return ic
+}
+
+// page returns the cache page covering page number pn, creating it on
+// first use.
+func (ic *icache) page(pn uint32) *icachePage {
+	p := ic.pages[pn]
+	if p == nil {
+		p = new(icachePage)
+		ic.pages[pn] = p
+		if pn < ic.lo {
+			ic.lo = pn
+		}
+		if pn > ic.hi {
+			ic.hi = pn
+		}
+	}
+	return p
+}
+
+// invalidate clears the decoded bits of every cached word overlapping
+// the stored range [addr, addr+n). It runs on the store hot path, so
+// the common case — a store nowhere near cached text — must exit on
+// the bounds compare.
+func (ic *icache) invalidate(addr, n uint32) {
+	end := addr + n - 1 // inclusive; n >= 1
+	if end < addr {
+		end = ^uint32(0) // clamp a store wrapping past the top of memory
+	}
+	if addr>>icachePageShift > ic.hi || end>>icachePageShift < ic.lo {
+		return
+	}
+	for a, last := addr&^3, end&^3; ; a += 4 {
+		if p := ic.pages[a>>icachePageShift]; p != nil {
+			p.decoded[(a&icachePageMask)>>2] = false
+		}
+		if a == last {
+			return
+		}
+	}
+}

@@ -4,6 +4,8 @@
 // on SPARC, big-endian.
 package mem
 
+import "sort"
+
 const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
@@ -13,7 +15,24 @@ const (
 // Memory is a sparse, paged, big-endian byte-addressed memory. The zero
 // value is ready to use.
 type Memory struct {
-	pages map[uint32]*[pageSize]byte
+	pages    map[uint32]*[pageSize]byte
+	watchers []func(addr, n uint32)
+}
+
+// OnStore registers fn to be called after every store, with the address
+// and byte length of the stored range. The interpreter's predecoded
+// instruction cache uses this to invalidate decoded words when a
+// program writes into its own text segment. Watchers must be cheap:
+// they run on the store hot path (they are expected to reject
+// out-of-range addresses in a compare or two).
+func (m *Memory) OnStore(fn func(addr, n uint32)) {
+	m.watchers = append(m.watchers, fn)
+}
+
+func (m *Memory) notifyStore(addr, n uint32) {
+	for _, fn := range m.watchers {
+		fn(addr, n)
+	}
 }
 
 // New returns an empty memory.
@@ -49,17 +68,45 @@ func (m *Memory) Load8(addr uint32) byte {
 // Store8 writes one byte at addr.
 func (m *Memory) Store8(addr uint32, v byte) {
 	m.page(addr)[addr&pageMask] = v
+	if m.watchers != nil {
+		m.notifyStore(addr, 1)
+	}
 }
 
 // Load32 reads a big-endian 32-bit word at addr. The address need not be
-// aligned; the ISA layer enforces alignment before calling.
+// aligned; the ISA layer enforces alignment before calling. Aligned
+// words (the common case: instruction fetch, ld/st) resolve the page
+// once instead of per byte.
 func (m *Memory) Load32(addr uint32) uint32 {
+	if addr&3 == 0 {
+		if m.pages == nil {
+			return 0
+		}
+		p := m.pages[addr>>pageShift]
+		if p == nil {
+			return 0
+		}
+		o := addr & pageMask
+		return uint32(p[o])<<24 | uint32(p[o+1])<<16 | uint32(p[o+2])<<8 | uint32(p[o+3])
+	}
 	return uint32(m.Load8(addr))<<24 | uint32(m.Load8(addr+1))<<16 |
 		uint32(m.Load8(addr+2))<<8 | uint32(m.Load8(addr+3))
 }
 
 // Store32 writes a big-endian 32-bit word at addr.
 func (m *Memory) Store32(addr uint32, v uint32) {
+	if addr&3 == 0 {
+		p := m.page(addr)
+		o := addr & pageMask
+		p[o] = byte(v >> 24)
+		p[o+1] = byte(v >> 16)
+		p[o+2] = byte(v >> 8)
+		p[o+3] = byte(v)
+		if m.watchers != nil {
+			m.notifyStore(addr, 4)
+		}
+		return
+	}
 	m.Store8(addr, byte(v>>24))
 	m.Store8(addr+1, byte(v>>16))
 	m.Store8(addr+2, byte(v>>8))
@@ -84,6 +131,21 @@ func (m *Memory) LoadBytes(addr uint32, n int) []byte {
 
 // PagesTouched reports how many distinct pages have been materialised.
 func (m *Memory) PagesTouched() int { return len(m.pages) }
+
+// TouchedPages returns the base addresses of all materialised pages in
+// ascending order, and PageSize the page granularity; together they let
+// differential tests compare two memories byte for byte.
+func (m *Memory) TouchedPages() []uint32 {
+	out := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn<<pageShift)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageSize reports the page granularity of TouchedPages.
+func PageSize() uint32 { return pageSize }
 
 // StackAllocator hands out disjoint, downward-growing stack regions for
 // guest threads, mirroring how the multi-tasking monitor lays out thread

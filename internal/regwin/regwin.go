@@ -166,6 +166,23 @@ func (f *File) SetRegW(w, r int, v uint32) {
 // Ins returns the in registers of window w as a mutable slice view.
 func (f *File) Ins(w int) []uint32 { return f.ins[f.norm(w)][:] }
 
+// InsPtr returns a direct pointer to the in-register array of window w.
+// The pointer stays valid for the lifetime of the file (the backing
+// slices never reallocate), but it designates window w's registers only
+// until the next operation that moves register contents between slots
+// (traps, switches); the interpreter fast path refreshes its cached
+// pointers on every such event.
+func (f *File) InsPtr(w int) *[NPart]uint32 { return &f.ins[f.norm(w)] }
+
+// LocalsPtr returns a direct pointer to the local-register array of
+// window w, with the same validity rules as InsPtr.
+func (f *File) LocalsPtr(w int) *[NPart]uint32 { return &f.locals[f.norm(w)] }
+
+// GlobalsPtr returns a direct pointer to the global registers. Element
+// 0 backs %g0 and is never written through the managers, so it always
+// reads as zero; fast-path writers must skip register 0 themselves.
+func (f *File) GlobalsPtr() *[NGlobals]uint32 { return &f.globals }
+
 // Locals returns the local registers of window w as a mutable slice view.
 func (f *File) Locals(w int) []uint32 { return f.locals[f.norm(w)][:] }
 

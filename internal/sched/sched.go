@@ -87,7 +87,11 @@ func (t *TCB) SetFlushOnSwitch(f bool) { t.flushOnSwitch = f }
 
 // Kernel is the non-preemptive scheduler.
 type Kernel struct {
-	mgr     core.Manager
+	mgr core.Manager
+	// cyc caches mgr.Cycles() so the Work hot path charges the clock
+	// without an interface dispatch per call; the counter identity never
+	// changes over a manager's lifetime.
+	cyc     *cycles.Counter
 	policy  Policy
 	threads []*TCB
 	ready   []*TCB
@@ -110,7 +114,7 @@ type Kernel struct {
 // NewKernel returns a kernel scheduling threads onto mgr's windows under
 // the given policy.
 func NewKernel(mgr core.Manager, policy Policy) *Kernel {
-	return &Kernel{mgr: mgr, policy: policy, yield: make(chan struct{})}
+	return &Kernel{mgr: mgr, cyc: mgr.Cycles(), policy: policy, yield: make(chan struct{})}
 }
 
 // Manager returns the window manager the kernel drives.
@@ -120,7 +124,7 @@ func (k *Kernel) Manager() core.Manager { return k.mgr }
 func (k *Kernel) Policy() Policy { return k.policy }
 
 // Cycles returns the shared cycle counter.
-func (k *Kernel) Cycles() *cycles.Counter { return k.mgr.Cycles() }
+func (k *Kernel) Cycles() *cycles.Counter { return k.cyc }
 
 // Threads returns all spawned threads in spawn order.
 func (k *Kernel) Threads() []*TCB { return k.threads }
@@ -185,7 +189,7 @@ func (k *Kernel) Run() {
 		}
 		k.current = t
 		t.state = Running
-		k.dispatched = k.mgr.Cycles().Total()
+		k.dispatched = k.cyc.Total()
 		t.resume <- struct{}{}
 		<-k.yield
 	}
@@ -250,7 +254,7 @@ func (k *Kernel) maybePreempt() {
 	if k.quantum == 0 || k.current == nil || len(k.ready) == 0 {
 		return
 	}
-	if k.mgr.Cycles().Total()-k.dispatched < k.quantum {
+	if k.cyc.Total()-k.dispatched < k.quantum {
 		return
 	}
 	k.Preemptions++
@@ -273,7 +277,7 @@ func (e *Env) TCB() *TCB { return e.tcb }
 // Work charges n cycles of computation to the simulated clock. It is a
 // preemption point when time-slicing is enabled.
 func (e *Env) Work(n uint64) {
-	e.k.mgr.Cycles().Add(n)
+	e.k.cyc.Add(n)
 	e.k.maybePreempt()
 }
 

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"cyclicwin/internal/isa"
+)
+
+// StepEvent is one executed instruction, recorded by a StepRecorder.
+type StepEvent struct {
+	Seq uint64
+	PC  uint32
+	In  isa.Instr // decoded form, copied at execution time
+}
+
+// StepRecorder keeps the most recent executed instructions in a bounded
+// ring. It is built for the fast interpreter's OnStep hook: recording
+// an event is two index operations and a struct copy into preallocated
+// storage — no allocation, no interface dispatch — so attaching it
+// does not disturb the timing characteristics being debugged. A nil
+// OnStep (the default) costs a single pointer nil-check per executed
+// instruction.
+type StepRecorder struct {
+	ring []StepEvent
+	next uint64
+}
+
+// NewStepRecorder keeps the most recent limit instructions (4096 if
+// limit <= 0). All storage is allocated here, up front.
+func NewStepRecorder(limit int) *StepRecorder {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &StepRecorder{ring: make([]StepEvent, limit)}
+}
+
+// Hook returns the function to install as CPU.OnStep. The closure is
+// allocated once here; invoking it does not allocate.
+func (r *StepRecorder) Hook() func(pc uint32, in *isa.Instr) {
+	return func(pc uint32, in *isa.Instr) {
+		slot := &r.ring[int(r.next)%len(r.ring)]
+		slot.Seq = r.next
+		slot.PC = pc
+		slot.In = *in
+		r.next++
+	}
+}
+
+// Total reports how many instructions were recorded overall, including
+// ones that have fallen out of the ring.
+func (r *StepRecorder) Total() uint64 { return r.next }
+
+// Events returns the retained instructions, oldest first.
+func (r *StepRecorder) Events() []StepEvent {
+	n := len(r.ring)
+	if r.next < uint64(n) {
+		out := make([]StepEvent, r.next)
+		copy(out, r.ring[:r.next])
+		return out
+	}
+	out := make([]StepEvent, 0, n)
+	start := int(r.next) % n
+	out = append(out, r.ring[start:]...)
+	out = append(out, r.ring[:start]...)
+	return out
+}
+
+// Render writes the retained instruction history, one line per step.
+func (r *StepRecorder) Render(w io.Writer) {
+	fmt.Fprintf(w, "%8s %10s  %s\n", "seq", "pc", "instr")
+	for _, ev := range r.Events() {
+		fmt.Fprintf(w, "%8d %#10x  op=%d op2=%d op3=%#x rd=%d rs1=%d rs2=%d imm=%v simm=%d\n",
+			ev.Seq, ev.PC, ev.In.Op, ev.In.Op2, ev.In.Op3, ev.In.Rd, ev.In.Rs1, ev.In.Rs2,
+			ev.In.Imm, ev.In.Simm13)
+	}
+}

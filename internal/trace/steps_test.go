@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/isa"
+)
+
+// TestStepRecorder runs a small program with the recorder attached and
+// checks the retained history and ring wrap-around.
+func TestStepRecorder(t *testing.T) {
+	m := isa.NewMachine(core.SchemeNS, 8)
+	words := []uint32{
+		isa.EncodeArithImm(isa.Op3Or, 1, 0, 1),  // %g1 = 1
+		isa.EncodeArithImm(isa.Op3Add, 1, 1, 2), // %g1 += 2
+		isa.EncodeArithImm(isa.Op3Add, 1, 1, 3), // %g1 += 3
+		isa.EncodeArithImm(isa.Op3Ticc, 0, 0, isa.TrapHalt),
+	}
+	for i, w := range words {
+		m.Mem.Store32(0x1000+uint32(4*i), w)
+	}
+	r := NewStepRecorder(3) // smaller than the program: the ring wraps
+	th := m.Mgr.NewThread(0, "t")
+	m.Mgr.Switch(th)
+	cpu := isa.NewCPU(m.Mgr, m.Mem)
+	cpu.OnStep = r.Hook()
+	cpu.SetPC(0x1000)
+	if _, err := cpu.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != 4 {
+		t.Fatalf("recorded %d steps, want 4", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want ring size 3", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[0].PC != 0x1004 {
+		t.Fatalf("oldest retained event = seq %d pc %#x, want seq 1 pc 0x1004", evs[0].Seq, evs[0].PC)
+	}
+	if evs[2].In.Op3 != isa.Op3Ticc {
+		t.Fatalf("newest event op3 = %#x, want Ticc", evs[2].In.Op3)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "0x1004") {
+		t.Fatalf("render missing pc:\n%s", sb.String())
+	}
+}
+
+// TestStepRecorderNoAlloc pins the hook's allocation-free guarantee.
+func TestStepRecorderNoAlloc(t *testing.T) {
+	r := NewStepRecorder(64)
+	hook := r.Hook()
+	in := isa.Decode(isa.EncodeArithImm(isa.Op3Add, 1, 1, 1))
+	if n := testing.AllocsPerRun(1000, func() { hook(0x1000, &in) }); n != 0 {
+		t.Fatalf("hook allocates %v times per step, want 0", n)
+	}
+}
