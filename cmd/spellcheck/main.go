@@ -56,13 +56,20 @@ func main() {
 	}
 
 	mach := cyclicwin.NewMachineOptions(scheme, *windows, cyclicwin.Options{Policy: policy})
-	p := mach.NewSpellPipeline(cyclicwin.SpellConfig{
+	p, err := mach.NewSpellPipeline(cyclicwin.SpellConfig{
 		M: *m, N: *n,
 		Source:        source,
 		MainDict:      corpus.MainDict(),
 		ForbiddenDict: corpus.ForbiddenDict(),
 	})
-	mach.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spellcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if err := mach.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "spellcheck: %v\n", err)
+		os.Exit(1)
+	}
 
 	for _, w := range p.Misspelled() {
 		fmt.Println(w)

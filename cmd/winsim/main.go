@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/fault"
 	"cyclicwin/internal/harness"
 	"cyclicwin/internal/simsvc"
 )
@@ -38,6 +40,8 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "reuse completed cells from this on-disk result store")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	maxCycles := flag.Uint64("maxcycles", 0, "per-simulation cycle budget; a cell exceeding it aborts with a diagnostic (0 = off)")
+	faultSeed := flag.Int64("faultseed", 0, "arm the chaos injector with this seed: benign perturbations fire throughout every cell (0 = off)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -96,8 +100,14 @@ func main() {
 
 	// The runner executes figure cells: serially in-process, or fanned
 	// out across a pool whose cache deduplicates cells shared between
-	// figures (fig11/fig12/fig13 reuse the same sweep).
+	// figures (fig11/fig12/fig13 reuse the same sweep). The watchdog
+	// and chaos flags force the serial path: their results must not be
+	// answered from (or stored into) a cache keyed without them.
 	runner := harness.RunSerial
+	if *maxCycles > 0 || *faultSeed != 0 {
+		*parallel = false
+		runner = watchdogRunner(*maxCycles, *faultSeed)
+	}
 	if *parallel {
 		cache, err := simsvc.NewCache(0, *cacheDir)
 		if err != nil {
@@ -135,4 +145,35 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// watchdogRunner executes cells serially under the cycle-budget
+// watchdog and/or the seeded chaos injector. A cell that trips either
+// terminates the run with its diagnostic (exit 1) — runaway or faulty
+// guests abort instead of hanging the sweep.
+func watchdogRunner(maxCycles uint64, faultSeed int64) harness.Runner {
+	return func(cells []harness.CellSpec) []harness.Result {
+		out := make([]harness.Result, len(cells))
+		for i, c := range cells {
+			var inj *fault.Injector
+			if faultSeed != 0 {
+				inj = fault.NewInjector(faultSeed + int64(i))
+				inj.Enable(fault.PointPreempt, 1000)
+				inj.Enable(fault.PointSpuriousTrap, 1500)
+				inj.Enable(fault.PointFlushReload, 2000)
+			}
+			r, err := harness.RunSpellWith(harness.SpellOpts{
+				Config: core.Config{Windows: c.Windows},
+				Scheme: c.Scheme, Policy: c.Policy, Behavior: c.Behavior, Sizes: c.Sizes,
+				MaxCycles: maxCycles, Chaos: inj,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "winsim: cell %v/w%d/%s: %v\n",
+					c.Scheme, c.Windows, c.Behavior.Name, err)
+				os.Exit(1)
+			}
+			out[i] = r
+		}
+		return out
+	}
 }

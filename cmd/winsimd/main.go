@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	winsimd [-addr :8091] [-workers N] [-cachedir DIR] [-cachesize N] [-timeout 10m]
+//	winsimd [-addr :8091] [-workers N] [-cachedir DIR] [-cachesize N]
+//	        [-timeout 10m] [-maxqueue 256] [-reqtimeout 2m]
 //
 // Endpoints:
 //
@@ -41,6 +42,8 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "directory for the on-disk result store (empty = memory only)")
 	cacheSize := flag.Int("cachesize", 0, "in-memory cache entries (0 = default)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
+	maxQueue := flag.Int("maxqueue", 256, "queued-job bound; submissions beyond it get 429 (0 = unbounded)")
+	reqTimeout := flag.Duration("reqtimeout", 2*time.Minute, "per-request deadline, including ?wait=1 blocking (0 = none)")
 	drainFor := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -52,10 +55,13 @@ func main() {
 	pool := simsvc.NewPool(simsvc.PoolConfig{
 		Workers:    *workers,
 		JobTimeout: *timeout,
+		MaxQueue:   *maxQueue,
 		Cache:      cache,
 	})
 
-	var handler http.Handler = simsvc.NewServer(pool)
+	api := simsvc.NewServer(pool)
+	api.SetRequestTimeout(*reqTimeout)
+	var handler http.Handler = api
 	if *enablePprof {
 		// Off by default: the profile endpoints expose internals and cost
 		// CPU, so they are opt-in rather than wired into the API server.

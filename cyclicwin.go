@@ -24,6 +24,7 @@ import (
 	"cyclicwin/internal/asm"
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/fault"
 	"cyclicwin/internal/isa"
 	"cyclicwin/internal/mem"
 	"cyclicwin/internal/sched"
@@ -111,6 +112,19 @@ type ActivityRecorder = stats.ActivityRecorder
 // Trace is the event recorder attached with Options.TraceLimit.
 type Trace = trace.Manager
 
+// GuestFault is a typed guest-triggerable failure raised by the
+// machine-code interpreter (misaligned access, out-of-range memory,
+// invalid window op, illegal instruction, ...), carrying thread, PC,
+// CWP and cycle context. Run returns it; match with errors.As.
+type GuestFault = fault.GuestFault
+
+// DeadlockError reports a stuck run: blocked threads with an empty
+// ready queue, with per-thread states and stream occupancies.
+type DeadlockError = fault.DeadlockError
+
+// BudgetError reports the SetMaxCycles watchdog firing.
+type BudgetError = fault.BudgetError
+
 // Machine bundles a window manager, a memory, and a thread kernel: the
 // full simulated processor the paper's experiments run on.
 type Machine struct {
@@ -158,13 +172,22 @@ func (m *Machine) Spawn(name string, body func(*Env)) *TCB {
 }
 
 // NewStream creates a blocking FIFO stream with the given buffer
-// capacity, connecting threads of this machine.
-func (m *Machine) NewStream(name string, capacity int) *Stream {
+// capacity, connecting threads of this machine. The capacity must be
+// positive.
+func (m *Machine) NewStream(name string, capacity int) (*Stream, error) {
 	return stream.New(m.kernel, name, capacity)
 }
 
-// Run dispatches threads until all have finished.
-func (m *Machine) Run() { m.kernel.Run() }
+// Run dispatches threads until all have finished. It returns nil on
+// clean completion; a failing guest (a typed GuestFault from machine
+// code, a stream misuse, a panicking body) surfaces as its error, a
+// stuck program as a *DeadlockError naming every thread and stream,
+// and an exhausted cycle budget (SetMaxCycles) as a *BudgetError.
+func (m *Machine) Run() error { return m.kernel.Run() }
+
+// SetMaxCycles arms the watchdog: the run fails with a *BudgetError
+// once the simulated clock passes n cycles (0 disables it).
+func (m *Machine) SetMaxCycles(n uint64) { m.kernel.SetMaxCycles(n) }
 
 // Wake moves a blocked thread to the ready queue under the machine's
 // scheduling policy.
@@ -198,8 +221,9 @@ type SpellPipeline = spell.Pipeline
 
 // NewSpellPipeline wires the paper's workload (Figure 10) onto the
 // machine; Run executes it, after which Pipeline.Misspelled holds the
-// report.
-func (m *Machine) NewSpellPipeline(cfg SpellConfig) *SpellPipeline {
+// report. It returns an error when a stream size (M or N) is not
+// positive.
+func (m *Machine) NewSpellPipeline(cfg SpellConfig) (*SpellPipeline, error) {
 	return spell.New(m.kernel, cfg)
 }
 

@@ -29,7 +29,10 @@ func TestMachineQuickstart(t *testing.T) {
 
 func TestMachineStreams(t *testing.T) {
 	m := NewMachineOptions(SP, 16, Options{Policy: WorkingSet})
-	s := m.NewStream("pipe", 4)
+	s, err := m.NewStream("pipe", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var got []byte
 	m.Spawn("producer", func(e *Env) {
 		s.PutString(e, "hello")
@@ -63,8 +66,13 @@ func TestSpellPipelineFacade(t *testing.T) {
 	want := SpellCheckText(cfg.Source, cfg.MainDict, cfg.ForbiddenDict)
 
 	m := NewMachine(SNP, 12)
-	p := m.NewSpellPipeline(cfg)
-	m.Run()
+	p, err := m.NewSpellPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
 	got := p.Misspelled()
 	if len(want) == 0 {
 		t.Fatal("reference found nothing")

@@ -11,7 +11,10 @@ import (
 // context switches transfer nothing.
 func Example() {
 	m := cyclicwin.NewMachine(cyclicwin.SP, 8)
-	pipe := m.NewStream("pipe", 1)
+	pipe, err := m.NewStream("pipe", 1)
+	if err != nil {
+		panic(err)
+	}
 
 	m.Spawn("producer", func(e *cyclicwin.Env) {
 		for i := uint32(1); i <= 3; i++ {

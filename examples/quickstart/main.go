@@ -13,7 +13,10 @@ import (
 
 func main() {
 	m := cyclicwin.NewMachine(cyclicwin.SP, 8)
-	pipe := m.NewStream("pipe", 2)
+	pipe, err := m.NewStream("pipe", 2)
+	if err != nil {
+		panic(err)
+	}
 
 	// The producer computes squares with a real procedure call per item
 	// (a save/restore pair on the window file) and streams them out.
@@ -37,7 +40,9 @@ func main() {
 		}
 	})
 
-	m.Run()
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
 
 	c := m.Counters()
 	fmt.Printf("\nsimulated cycles:    %d\n", m.Cycles())

@@ -28,8 +28,13 @@ func main() {
 	var firstWords []string
 	for _, scheme := range cyclicwin.Schemes {
 		m := cyclicwin.NewMachine(scheme, 8)
-		p := m.NewSpellPipeline(cfg)
-		m.Run()
+		p, err := m.NewSpellPipeline(cfg)
+		if err != nil {
+			panic(err)
+		}
+		if err := m.Run(); err != nil {
+			panic(err)
+		}
 		c := m.Counters()
 		words := p.Misspelled()
 		fmt.Printf("%-6v %14d %10d %12.1f %10d %12d\n",

@@ -26,8 +26,12 @@ func main() {
 	for _, windows := range []int{6, 7, 8, 10, 16, 32} {
 		run := func(policy cyclicwin.Policy) uint64 {
 			m := cyclicwin.NewMachineOptions(cyclicwin.SP, windows, cyclicwin.Options{Policy: policy})
-			m.NewSpellPipeline(cfg)
-			m.Run()
+			if _, err := m.NewSpellPipeline(cfg); err != nil {
+				panic(err)
+			}
+			if err := m.Run(); err != nil {
+				panic(err)
+			}
 			return m.Cycles()
 		}
 		fifo := run(cyclicwin.FIFO)

@@ -47,10 +47,13 @@ loop:
 				t.Run(name, func(t *testing.T) {
 					m := cyclicwin.NewMachineOptions(scheme, windows,
 						cyclicwin.Options{Policy: policy, TraceLimit: 32})
-					p := m.NewSpellPipeline(cyclicwin.SpellConfig{
+					p, err := m.NewSpellPipeline(cyclicwin.SpellConfig{
 						M: 2, N: 2,
 						Source: src, MainDict: mainDict, ForbiddenDict: forbidden,
 					})
+					if err != nil {
+						t.Fatal(err)
+					}
 
 					var fibResult uint32
 					var fib func(e *cyclicwin.Env)
@@ -115,11 +118,16 @@ func TestOutputIndependentOfEverything(t *testing.T) {
 	for _, scheme := range cyclicwin.Schemes {
 		for i, o := range configs {
 			m := cyclicwin.NewMachineOptions(scheme, 6, o)
-			p := m.NewSpellPipeline(cyclicwin.SpellConfig{
+			p, err := m.NewSpellPipeline(cyclicwin.SpellConfig{
 				M: 3, N: 1,
 				Source: src, MainDict: mainDict, ForbiddenDict: forbidden,
 			})
-			m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
 			if got := p.Misspelled(); !reflect.DeepEqual(got, want) {
 				t.Errorf("%v config %d: output diverged (%d vs %d words)", scheme, i, len(got), len(want))
 			}

@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ThreadState is one thread's scheduling state at failure time.
+type ThreadState struct {
+	Name   string `json:"name"`
+	State  string `json:"state"`            // ready, running, blocked, done, failed
+	Detail string `json:"detail,omitempty"` // e.g. what it was last known to wait on
+}
+
+// ResourceState is one synchronisation resource's occupancy at failure
+// time — for the paper's workload, a stream's fill level and the
+// threads parked on it.
+type ResourceState struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail"`
+}
+
+// DeadlockError reports a stuck simulation: the ready queue is empty
+// but blocked threads remain. It carries the full per-thread picture
+// plus every registered resource diagnostic, so an undersized or
+// miswired pipeline explains itself instead of hanging.
+type DeadlockError struct {
+	Threads   []ThreadState   `json:"threads"`
+	Resources []ResourceState `json:"resources,omitempty"`
+}
+
+// Error renders the multi-line deadlock diagnostic.
+func (e *DeadlockError) Error() string {
+	blocked := 0
+	for _, t := range e.Threads {
+		if t.State == "blocked" {
+			blocked++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched: deadlock: %d thread(s) blocked with an empty ready queue", blocked)
+	for _, t := range e.Threads {
+		fmt.Fprintf(&b, "\n  thread %-12s %s", t.Name, t.State)
+		if t.Detail != "" {
+			b.WriteString(" (" + t.Detail + ")")
+		}
+	}
+	for _, r := range e.Resources {
+		fmt.Fprintf(&b, "\n  %-19s %s", r.Name, r.Detail)
+	}
+	return b.String()
+}
+
+// BudgetError reports the cycle-budget watchdog firing: the simulated
+// clock passed the configured ceiling before every thread finished,
+// which usually means a runaway or livelocked guest.
+type BudgetError struct {
+	Limit   uint64        `json:"limit"`
+	Cycle   uint64        `json:"cycle"`
+	Threads []ThreadState `json:"threads"`
+}
+
+// Error renders the watchdog diagnostic with the surviving threads.
+func (e *BudgetError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched: cycle budget %d exceeded at cycle %d", e.Limit, e.Cycle)
+	for _, t := range e.Threads {
+		if t.State == "done" {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  thread %-12s %s", t.Name, t.State)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGuestFaultRendering(t *testing.T) {
+	f := &GuestFault{
+		Kind: MisalignedAccess, Thread: "T1", PC: 0x1040, CWP: 3,
+		Cycle: 1234, Detail: "misaligned load (addr 0x3001)",
+	}
+	got := f.Error()
+	for _, want := range []string{"misaligned access", "misaligned load (addr 0x3001)",
+		"pc 0x1040", "thread T1", "cwp 3", "cycle 1234"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fault %q missing %q", got, want)
+		}
+	}
+
+	bare := &GuestFault{Kind: IllegalInstruction, PC: 8, CWP: -1, Detail: "unsupported op3 0x2a"}
+	got = bare.Error()
+	if strings.Contains(got, "thread") || strings.Contains(got, "cwp") {
+		t.Errorf("bare fault %q should omit unknown thread/cwp", got)
+	}
+	if !strings.Contains(got, "cycle 0") {
+		t.Errorf("bare fault %q should still report the cycle", got)
+	}
+}
+
+func TestDeadlockErrorRendering(t *testing.T) {
+	e := &DeadlockError{
+		Threads: []ThreadState{
+			{Name: "producer", State: "blocked", Detail: "writing S1"},
+			{Name: "consumer", State: "blocked"},
+			{Name: "finished", State: "done"},
+		},
+		Resources: []ResourceState{{Name: "stream S1", Detail: "1/1 bytes, closed=false"}},
+	}
+	got := e.Error()
+	for _, want := range []string{"2 thread(s) blocked", "producer", "writing S1",
+		"consumer", "stream S1", "1/1 bytes"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("deadlock %q missing %q", got, want)
+		}
+	}
+}
+
+func TestBudgetErrorRendering(t *testing.T) {
+	e := &BudgetError{Limit: 1000, Cycle: 1033, Threads: []ThreadState{
+		{Name: "spinner", State: "running"}, {Name: "ok", State: "done"},
+	}}
+	got := e.Error()
+	if !strings.Contains(got, "cycle budget 1000 exceeded at cycle 1033") {
+		t.Errorf("budget error %q missing headline", got)
+	}
+	if !strings.Contains(got, "spinner") || strings.Contains(got, "ok") {
+		t.Errorf("budget error %q should list live threads only", got)
+	}
+}
+
+// TestInjectorDeterminism pins the reproducibility contract: the same
+// seed and Poll sequence fire at the same consultations.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		in := NewInjector(seed)
+		in.Enable(PointPreempt, 10)
+		var fires []uint64
+		n := uint64(0)
+		in.Arm(PointPreempt, func() { fires = append(fires, n) })
+		for ; n < 1000; n++ {
+			in.Poll(PointPreempt)
+		}
+		return fires
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("injector with period 10 never fired over 1000 polls")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at firing %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical schedule")
+	}
+}
+
+func TestInjectorDisabledAndUnarmed(t *testing.T) {
+	in := NewInjector(1)
+	for i := 0; i < 100; i++ {
+		in.Poll(PointFlushReload) // disabled: must be a no-op
+	}
+	if in.TotalFired() != 0 {
+		t.Errorf("disabled point fired %d times", in.TotalFired())
+	}
+	in.Enable(PointFlushReload, 1) // enabled but no hook armed
+	for i := 0; i < 100; i++ {
+		in.Poll(PointFlushReload)
+	}
+	if in.Fired(PointFlushReload) != 0 {
+		t.Errorf("unarmed point fired %d times", in.Fired(PointFlushReload))
+	}
+}

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/fault"
+	"cyclicwin/internal/sched"
+)
+
+// chaosRunner is a harness.Runner that attaches a fresh, per-cell
+// injector with the given tier-A points enabled before running each
+// cell. Seeds derive from the cell index so the suite is deterministic.
+func chaosRunner(t *testing.T, points []fault.Point, period uint64, fired *uint64) Runner {
+	return func(cells []CellSpec) []Result {
+		out := make([]Result, len(cells))
+		for i, c := range cells {
+			inj := fault.NewInjector(int64(1000 + i))
+			for _, p := range points {
+				inj.Enable(p, period)
+			}
+			r, err := RunSpellWith(SpellOpts{
+				Config: core.Config{Windows: c.Windows},
+				Scheme: c.Scheme, Policy: c.Policy, Behavior: c.Behavior, Sizes: c.Sizes,
+				Chaos: inj,
+			})
+			if err != nil {
+				t.Fatalf("cell %d (%v/w%d/%s) failed under benign chaos: %v",
+					i, c.Scheme, c.Windows, c.Behavior.Name, err)
+			}
+			out[i] = r
+			*fired += inj.TotalFired()
+		}
+		return out
+	}
+}
+
+// TestChaosNeutralGoldenFigures runs the full fig11-fig15 sweep with
+// the strictly-neutral perturbation (forced window flush/reload
+// round-trips at the kernel's safe points) firing throughout, and
+// requires the rendered figures to stay byte-identical to the same
+// golden file the unperturbed sweep is pinned to. Spilling and
+// refilling resident windows must be invisible: no cycles, no counters,
+// no state.
+func TestChaosNeutralGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-size sweep; skipped in -short mode")
+	}
+	windows := []int{4, 6, 8, 16, 32}
+	sz := QuickSizes
+	var fired uint64
+	run := chaosRunner(t, []fault.Point{fault.PointFlushReload}, 2000, &fired)
+	var sb strings.Builder
+	figs := []struct {
+		name string
+		run  func(Sizes, []int, Runner) Figure
+	}{
+		{"fig11", RunFig11With},
+		{"fig12", RunFig12With},
+		{"fig13", RunFig13With},
+		{"fig14", RunFig14With},
+		{"fig15", RunFig15With},
+	}
+	for _, fg := range figs {
+		sb.WriteString("== " + fg.name + " ==\n")
+		f := fg.run(sz, windows, run)
+		f.Render(&sb)
+		if err := f.WriteCSV(&sb); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", fg.name, err)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("chaos injector never fired; the sweep exercised nothing")
+	}
+	want, err := os.ReadFile("testdata/figures_quick_golden.txt")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	got := sb.String()
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("chaos-perturbed figures diverged from golden at line %d:\n got:  %s\n want: %s",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("chaos-perturbed figure output length diverged: got %d lines, want %d",
+		len(gotLines), len(wantLines))
+}
+
+// TestChaosPerturbedRunsStayCorrect fires the cycle-visible
+// perturbations — adversarial preemption and spurious save/restore trap
+// pairs — and checks the machine's own invariants after every single
+// firing, plus functional correctness (the misspelled-word list length)
+// against an unperturbed run. Timing may legitimately change; the
+// answer and the window-file invariants may not.
+func TestChaosPerturbedRunsStayCorrect(t *testing.T) {
+	sz := Sizes{Draft: 2000, Dict: 2501}
+	b, _ := BehaviorByName("high-fine")
+	for _, scheme := range core.Schemes {
+		t.Run(scheme.String(), func(t *testing.T) {
+			base, err := RunSpellWith(SpellOpts{
+				Config: core.Config{Windows: 6},
+				Scheme: scheme, Policy: sched.FIFO, Behavior: b, Sizes: sz,
+			})
+			if err != nil {
+				t.Fatalf("unperturbed run failed: %v", err)
+			}
+			inj := fault.NewInjector(7)
+			inj.Enable(fault.PointPreempt, 500)
+			inj.Enable(fault.PointSpuriousTrap, 700)
+			inj.Enable(fault.PointFlushReload, 900)
+			var mgr core.Manager
+			var checks uint64
+			inj.OnFire = func(p fault.Point) {
+				checks++
+				if v, ok := mgr.(core.Verifier); ok {
+					if err := v.Verify(); err != nil {
+						t.Fatalf("invariants broken right after %v firing #%d: %v", p, checks, err)
+					}
+				}
+			}
+			r, err := RunSpellWith(SpellOpts{
+				Config: core.Config{Windows: 6},
+				Scheme: scheme, Policy: sched.FIFO, Behavior: b, Sizes: sz,
+				Chaos:     inj,
+				OnManager: func(m core.Manager) { mgr = m },
+			})
+			if err != nil {
+				t.Fatalf("perturbed run failed: %v", err)
+			}
+			if checks == 0 {
+				t.Fatal("no perturbation fired; the test exercised nothing")
+			}
+			for _, p := range []fault.Point{fault.PointPreempt, fault.PointSpuriousTrap, fault.PointFlushReload} {
+				if inj.Fired(p) == 0 {
+					t.Errorf("point %v never fired", p)
+				}
+			}
+			if r.Misspelled != base.Misspelled {
+				t.Errorf("perturbation changed the answer: %d misspelled, want %d",
+					r.Misspelled, base.Misspelled)
+			}
+			if v, ok := mgr.(core.Verifier); ok {
+				if err := v.Verify(); err != nil {
+					t.Errorf("invariants broken at end of perturbed run: %v", err)
+				}
+			}
+			t.Log(fmt.Sprintf("%v: %d perturbations, cycles %d (unperturbed %d)",
+				scheme, checks, r.Cycles, base.Cycles))
+		})
+	}
+}

@@ -457,7 +457,9 @@ func runSpellAllFlushed(s core.Scheme, windows int, b Behavior, sz Sizes) uint64
 	mgr := core.New(s, core.Config{Windows: windows})
 	k := sched.NewKernel(mgr, sched.FIFO)
 	p := spellPipelineAllFlushed(k, b, w)
-	k.Run()
+	if err := k.Run(); err != nil {
+		panic(err) // the fixed workload runs clean
+	}
 	_ = p
 	return mgr.Cycles().Total()
 }

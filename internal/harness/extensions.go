@@ -50,11 +50,15 @@ func RunActivity(sz Sizes) []ActivityRow {
 		rec := &stats.ActivityRecorder{}
 		mgr := core.New(core.SchemeSP, core.Config{Windows: 32, Activity: rec})
 		k := sched.NewKernel(mgr, sched.FIFO)
-		spell.New(k, spell.Config{
+		if _, err := spell.New(k, spell.Config{
 			M: b.M, N: b.N,
 			Source: w.source, MainDict: w.main, ForbiddenDict: w.forbidden,
-		})
-		k.Run()
+		}); err != nil {
+			panic(err) // sweep behaviours have positive M and N
+		}
+		if err := k.Run(); err != nil {
+			panic(err) // the fixed workload runs clean
+		}
 		rows = append(rows, ActivityRow{
 			Behavior:    b,
 			PerThread:   rec.MeanPerThread(),

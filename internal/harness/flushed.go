@@ -10,10 +10,13 @@ import (
 // writes all resident windows back to memory — the counterfactual the
 // ablation compares against the default in-situ suspension.
 func spellPipelineAllFlushed(k *sched.Kernel, b Behavior, w *workload) *spell.Pipeline {
-	p := spell.New(k, spell.Config{
+	p, err := spell.New(k, spell.Config{
 		M: b.M, N: b.N,
 		Source: w.source, MainDict: w.main, ForbiddenDict: w.forbidden,
 	})
+	if err != nil {
+		panic(err) // sweep behaviours have positive M and N
+	}
 	for _, t := range p.Threads() {
 		t.SetFlushOnSwitch(true)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/corpus"
+	"cyclicwin/internal/fault"
 	"cyclicwin/internal/sched"
 	"cyclicwin/internal/spell"
 	"cyclicwin/internal/stats"
@@ -154,21 +155,71 @@ func RunSpell(scheme core.Scheme, windows int, policy sched.Policy, b Behavior, 
 }
 
 // RunSpellConfig is RunSpell with full control over the machine
-// configuration (used by ablations).
+// configuration (used by ablations). The sweep behaviours and fixed
+// workload cannot fail, so a failure here is a harness bug and panics.
 func RunSpellConfig(cfg core.Config, scheme core.Scheme, policy sched.Policy, b Behavior, sz Sizes) Result {
-	w := loadWorkload(sz)
-	mgr := core.New(scheme, cfg)
-	k := sched.NewKernel(mgr, policy)
-	p := spell.New(k, spell.Config{
+	r, err := RunSpellWith(SpellOpts{
+		Config: cfg, Scheme: scheme, Policy: policy, Behavior: b, Sizes: sz,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SpellOpts parameterises RunSpellWith beyond the sweep cell: the
+// cycle-budget watchdog and the chaos injector.
+type SpellOpts struct {
+	Config   core.Config
+	Scheme   core.Scheme
+	Policy   sched.Policy
+	Behavior Behavior
+	Sizes    Sizes
+
+	// MaxCycles arms the kernel's cycle-budget watchdog (0 = off).
+	MaxCycles uint64
+	// Chaos, when non-nil, is attached to the kernel's perturbation
+	// points before the run.
+	Chaos *fault.Injector
+	// OnManager, when non-nil, receives the constructed window manager
+	// before the run starts; the chaos suite uses it to hook invariant
+	// checks onto injector firings.
+	OnManager func(core.Manager)
+}
+
+// RunSpellWith executes one spell-checker run with watchdog and chaos
+// control, returning the structured result or the failure (guest
+// fault, deadlock diagnostic, budget exhaustion, invalid stream size).
+func RunSpellWith(o SpellOpts) (Result, error) {
+	w := loadWorkload(o.Sizes)
+	cfg := o.Config
+	mgr := core.New(o.Scheme, cfg)
+	k := sched.NewKernel(mgr, o.Policy)
+	if o.MaxCycles > 0 {
+		k.SetMaxCycles(o.MaxCycles)
+	}
+	if o.Chaos != nil {
+		k.SetChaos(o.Chaos)
+	}
+	if o.OnManager != nil {
+		o.OnManager(mgr)
+	}
+	b := o.Behavior
+	p, err := spell.New(k, spell.Config{
 		M: b.M, N: b.N,
 		Source: w.source, MainDict: w.main, ForbiddenDict: w.forbidden,
 	})
-	k.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := k.Run(); err != nil {
+		return Result{}, err
+	}
 
 	r := Result{
-		Scheme:   scheme,
+		Scheme:   o.Scheme,
 		Windows:  cfg.Windows,
-		Policy:   policy,
+		Policy:   o.Policy,
 		Behavior: b,
 		Cycles:   mgr.Cycles().Total(),
 		Counters: *mgr.Counters(),
@@ -177,5 +228,5 @@ func RunSpellConfig(cfg core.Config, scheme core.Scheme, policy sched.Policy, b 
 		r.ThreadSuspensions[i] = t.Stats().Suspensions
 	}
 	r.Misspelled = len(p.Misspelled())
-	return r
+	return r, nil
 }

@@ -6,9 +6,17 @@ import (
 
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/fault"
 	"cyclicwin/internal/mem"
 	"cyclicwin/internal/regwin"
 )
+
+// MemCeiling is the exclusive upper bound of guest-addressable data
+// memory. The per-thread window save areas are laid out above it (from
+// 0xfff0000 downward), so a guest load or store reaching past the
+// ceiling would corrupt spilled windows; it faults with
+// fault.OutOfRangeMemory instead.
+const MemCeiling uint32 = 0xf000000
 
 // CPU interprets the instruction subset on top of a window manager: all
 // register accesses go through the manager's current window, and save
@@ -63,6 +71,13 @@ type CPU struct {
 	win        core.FastWindow
 	winOK      bool
 	pend       uint64 // batched cycles not yet flushed to the counter
+
+	// file, when the manager exposes its register file, supplies the CWP
+	// recorded in guest faults.
+	file *regwin.File
+	// chaos, when non-nil, is polled once per fast-path instruction for
+	// the icache-flush perturbation point (SetChaos).
+	chaos *fault.Injector
 }
 
 type flags struct{ n, z, v, c bool }
@@ -74,7 +89,47 @@ type flags struct{ n, z, v, c bool }
 func NewCPU(mgr core.Manager, m *mem.Memory) *CPU {
 	c := &CPU{Mgr: mgr, Mem: m, fast: true, icache: newICache(m)}
 	c.wa, _ = mgr.(core.WindowAccessor)
+	if fr, ok := mgr.(interface{ File() *regwin.File }); ok {
+		c.file = fr.File()
+	}
 	return c
+}
+
+// SetChaos attaches a fault injector and arms the interpreter-level
+// perturbation point: dropping the whole predecoded instruction cache,
+// so the next fetch of every address re-decodes from memory. One CPU
+// owns the point per injector (Arm replaces the hook).
+func (c *CPU) SetChaos(inj *fault.Injector) {
+	c.chaos = inj
+	if inj == nil {
+		return
+	}
+	inj.Arm(fault.PointICacheFlush, func() {
+		c.icache.dropAll()
+		c.curPage = nil
+	})
+}
+
+// guestFault builds the typed fault both interpreter paths raise for
+// guest-triggerable conditions. The fast path constructs faults before
+// flushing its cycle batch, so the recorded cycle is Total()+pend —
+// flush-invariant, hence byte-identical between the two paths (the
+// differential tests compare rendered errors).
+func (c *CPU) guestFault(k fault.Kind, format string, args ...interface{}) error {
+	f := &fault.GuestFault{
+		Kind:   k,
+		PC:     c.pc,
+		CWP:    -1,
+		Cycle:  c.Mgr.Cycles().Total() + c.pend,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	if c.file != nil {
+		f.CWP = c.file.CWP()
+	}
+	if t := c.Mgr.Running(); t != nil {
+		f.Thread = t.Name
+	}
+	return f
 }
 
 // SetFastPath selects between the fast execution path (default) and the
@@ -129,7 +184,7 @@ func (c *CPU) Step() (yielded bool, err error) {
 			}
 			cyc.Add(cycles.InstrBranch)
 		default:
-			return false, fmt.Errorf("isa: unsupported op2 %d at %#x", in.Op2, c.pc)
+			return false, c.guestFault(fault.IllegalInstruction, "unsupported op2 %d", in.Op2)
 		}
 
 	case opArith:
@@ -217,7 +272,7 @@ func (c *CPU) arith(in Instr, next *uint32) error {
 		cyc.Add(cycles.InstrMul) // multiply is multi-cycle on the S-20
 	case Op3SDiv:
 		if b == 0 {
-			return fmt.Errorf("isa: division by zero at %#x", c.pc)
+			return c.guestFault(fault.DivisionByZero, "division by zero")
 		}
 		c.SetReg(in.Rd, uint32(int32(a)/int32(b)))
 		cyc.Add(cycles.InstrDiv)
@@ -242,7 +297,7 @@ func (c *CPU) arith(in Instr, next *uint32) error {
 		// A restore past the outermost frame is a guest program error;
 		// report it rather than crash the simulator.
 		if t := c.Mgr.Running(); t != nil && t.Depth() == 0 {
-			return fmt.Errorf("isa: restore past the outermost frame at %#x", c.pc)
+			return c.guestFault(fault.InvalidWindowOp, "restore past the outermost frame")
 		}
 		// Operands were read in the callee's window; the destination is
 		// written in the caller's window, which — under the proposed
@@ -254,7 +309,7 @@ func (c *CPU) arith(in Instr, next *uint32) error {
 	case Op3Ticc:
 		return c.trap(int(a + b))
 	default:
-		return fmt.Errorf("isa: unsupported op3 %#x at %#x", in.Op3, c.pc)
+		return c.guestFault(fault.IllegalInstruction, "unsupported op3 %#x", in.Op3)
 	}
 	cyc.Add(cycles.Instr)
 	return nil
@@ -269,7 +324,7 @@ func (c *CPU) trap(n int) error {
 	case TrapPutc:
 		c.Console.WriteByte(byte(c.Reg(regwin.RegO0)))
 	default:
-		return fmt.Errorf("isa: unknown software trap %d at %#x", n, c.pc)
+		return c.guestFault(fault.IllegalInstruction, "unknown software trap %d", n)
 	}
 	c.Mgr.Cycles().Add(cycles.TrapEnterExit)
 	return nil
@@ -277,10 +332,13 @@ func (c *CPU) trap(n int) error {
 
 func (c *CPU) memOp(in Instr) error {
 	addr := c.Reg(in.Rs1) + c.operand2(in)
+	if addr >= MemCeiling {
+		return c.guestFault(fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+	}
 	switch in.Op3 {
 	case Op3Ld:
 		if addr&3 != 0 {
-			return fmt.Errorf("isa: misaligned load at %#x (addr %#x)", c.pc, addr)
+			return c.guestFault(fault.MisalignedAccess, "misaligned load (addr %#x)", addr)
 		}
 		c.SetReg(in.Rd, c.Mem.Load32(addr))
 	case Op3Ldub:
@@ -289,7 +347,7 @@ func (c *CPU) memOp(in Instr) error {
 		c.SetReg(in.Rd, uint32(int32(int8(c.Mem.Load8(addr)))))
 	case Op3Lduh, Op3Ldsh:
 		if addr&1 != 0 {
-			return fmt.Errorf("isa: misaligned halfword load at %#x (addr %#x)", c.pc, addr)
+			return c.guestFault(fault.MisalignedAccess, "misaligned halfword load (addr %#x)", addr)
 		}
 		h := uint32(c.Mem.Load8(addr))<<8 | uint32(c.Mem.Load8(addr+1))
 		if in.Op3 == Op3Ldsh {
@@ -298,20 +356,20 @@ func (c *CPU) memOp(in Instr) error {
 		c.SetReg(in.Rd, h)
 	case Op3Sth:
 		if addr&1 != 0 {
-			return fmt.Errorf("isa: misaligned halfword store at %#x (addr %#x)", c.pc, addr)
+			return c.guestFault(fault.MisalignedAccess, "misaligned halfword store (addr %#x)", addr)
 		}
 		v := c.Reg(in.Rd)
 		c.Mem.Store8(addr, byte(v>>8))
 		c.Mem.Store8(addr+1, byte(v))
 	case Op3St:
 		if addr&3 != 0 {
-			return fmt.Errorf("isa: misaligned store at %#x (addr %#x)", c.pc, addr)
+			return c.guestFault(fault.MisalignedAccess, "misaligned store (addr %#x)", addr)
 		}
 		c.Mem.Store32(addr, c.Reg(in.Rd))
 	case Op3Stb:
 		c.Mem.Store8(addr, byte(c.Reg(in.Rd)))
 	default:
-		return fmt.Errorf("isa: unsupported memory op3 %#x at %#x", in.Op3, c.pc)
+		return c.guestFault(fault.IllegalInstruction, "unsupported memory op3 %#x", in.Op3)
 	}
 	return nil
 }
@@ -387,7 +445,7 @@ func (c *CPU) Run(limit uint64) (yielded bool, err error) {
 	}
 	for !c.halted {
 		if limit > 0 && c.Steps >= limit {
-			return false, fmt.Errorf("isa: step limit %d exceeded at pc %#x", limit, c.pc)
+			return false, c.guestFault(fault.StepLimit, "step limit %d exceeded", limit)
 		}
 		y, err := c.Step()
 		if err != nil {

@@ -1,9 +1,8 @@
 package isa
 
 import (
-	"fmt"
-
 	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/fault"
 	"cyclicwin/internal/regwin"
 )
 
@@ -104,8 +103,12 @@ func (c *CPU) runFast(limit uint64) (yielded bool, err error) {
 	c.winOK = false
 	for !c.halted {
 		if limit > 0 && c.Steps >= limit {
+			err := c.guestFault(fault.StepLimit, "step limit %d exceeded", limit)
 			c.flushCycles()
-			return false, fmt.Errorf("isa: step limit %d exceeded at pc %#x", limit, c.pc)
+			return false, err
+		}
+		if c.chaos != nil {
+			c.chaos.Poll(fault.PointICacheFlush)
 		}
 		pc := c.pc
 		in := c.fetch(pc)
@@ -132,8 +135,9 @@ func (c *CPU) runFast(limit uint64) (yielded bool, err error) {
 				}
 				c.pend += cycles.InstrBranch
 			default:
+				err := c.guestFault(fault.IllegalInstruction, "unsupported op2 %d", in.Op2)
 				c.flushCycles()
-				return false, fmt.Errorf("isa: unsupported op2 %d at %#x", in.Op2, pc)
+				return false, err
 			}
 
 		case opArith:
@@ -224,7 +228,7 @@ func (c *CPU) arithFast(in *Instr, next *uint32) error {
 		c.pend += cycles.InstrMul
 	case Op3SDiv:
 		if b == 0 {
-			return fmt.Errorf("isa: division by zero at %#x", c.pc)
+			return c.guestFault(fault.DivisionByZero, "division by zero")
 		}
 		c.wrReg(in.Rd, uint32(int32(a)/int32(b)))
 		c.pend += cycles.InstrDiv
@@ -252,7 +256,7 @@ func (c *CPU) arithFast(in *Instr, next *uint32) error {
 		return nil
 	case Op3Restore:
 		if t := c.Mgr.Running(); t != nil && t.Depth() == 0 {
-			return fmt.Errorf("isa: restore past the outermost frame at %#x", c.pc)
+			return c.guestFault(fault.InvalidWindowOp, "restore past the outermost frame")
 		}
 		c.flushCycles()
 		c.Mgr.Restore()
@@ -262,7 +266,7 @@ func (c *CPU) arithFast(in *Instr, next *uint32) error {
 	case Op3Ticc:
 		return c.trapFast(int(a + b))
 	default:
-		return fmt.Errorf("isa: unsupported op3 %#x at %#x", in.Op3, c.pc)
+		return c.guestFault(fault.IllegalInstruction, "unsupported op3 %#x", in.Op3)
 	}
 	c.pend += cycles.Instr
 	return nil
@@ -279,7 +283,7 @@ func (c *CPU) trapFast(n int) error {
 	case TrapPutc:
 		c.Console.WriteByte(byte(c.rdReg(regwin.RegO0)))
 	default:
-		return fmt.Errorf("isa: unknown software trap %d at %#x", n, c.pc)
+		return c.guestFault(fault.IllegalInstruction, "unknown software trap %d", n)
 	}
 	c.pend += cycles.TrapEnterExit
 	return nil
@@ -288,10 +292,13 @@ func (c *CPU) trapFast(n int) error {
 // memOpFast mirrors memOp (cpu.go) with devirtualized register access.
 func (c *CPU) memOpFast(in *Instr) error {
 	addr := c.rdReg(in.Rs1) + c.operand2Fast(in)
+	if addr >= MemCeiling {
+		return c.guestFault(fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+	}
 	switch in.Op3 {
 	case Op3Ld:
 		if addr&3 != 0 {
-			return fmt.Errorf("isa: misaligned load at %#x (addr %#x)", c.pc, addr)
+			return c.guestFault(fault.MisalignedAccess, "misaligned load (addr %#x)", addr)
 		}
 		c.wrReg(in.Rd, c.Mem.Load32(addr))
 	case Op3Ldub:
@@ -300,7 +307,7 @@ func (c *CPU) memOpFast(in *Instr) error {
 		c.wrReg(in.Rd, uint32(int32(int8(c.Mem.Load8(addr)))))
 	case Op3Lduh, Op3Ldsh:
 		if addr&1 != 0 {
-			return fmt.Errorf("isa: misaligned halfword load at %#x (addr %#x)", c.pc, addr)
+			return c.guestFault(fault.MisalignedAccess, "misaligned halfword load (addr %#x)", addr)
 		}
 		h := uint32(c.Mem.Load8(addr))<<8 | uint32(c.Mem.Load8(addr+1))
 		if in.Op3 == Op3Ldsh {
@@ -309,20 +316,20 @@ func (c *CPU) memOpFast(in *Instr) error {
 		c.wrReg(in.Rd, h)
 	case Op3Sth:
 		if addr&1 != 0 {
-			return fmt.Errorf("isa: misaligned halfword store at %#x (addr %#x)", c.pc, addr)
+			return c.guestFault(fault.MisalignedAccess, "misaligned halfword store (addr %#x)", addr)
 		}
 		v := c.rdReg(in.Rd)
 		c.Mem.Store8(addr, byte(v>>8))
 		c.Mem.Store8(addr+1, byte(v))
 	case Op3St:
 		if addr&3 != 0 {
-			return fmt.Errorf("isa: misaligned store at %#x (addr %#x)", c.pc, addr)
+			return c.guestFault(fault.MisalignedAccess, "misaligned store (addr %#x)", addr)
 		}
 		c.Mem.Store32(addr, c.rdReg(in.Rd))
 	case Op3Stb:
 		c.Mem.Store8(addr, byte(c.rdReg(in.Rd)))
 	default:
-		return fmt.Errorf("isa: unsupported memory op3 %#x at %#x", in.Op3, c.pc)
+		return c.guestFault(fault.IllegalInstruction, "unsupported memory op3 %#x", in.Op3)
 	}
 	return nil
 }

@@ -1,8 +1,6 @@
 package isa
 
 import (
-	"fmt"
-
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/mem"
 	"cyclicwin/internal/regwin"
@@ -77,12 +75,14 @@ func threadBody(mgr core.Manager, memory *mem.Memory, entry, sp uint32, limit ui
 		mgr.SetReg(regwin.RegSP, sp)
 		for {
 			yielded, err := cpu.Run(limit)
-			if err != nil {
-				panic(fmt.Sprintf("isa: %s: %v", e.TCB().Name(), err))
-			}
 			if console != nil && cpu.Console.Len() > 0 {
 				*console = append(*console, cpu.Console.Bytes()...)
 				cpu.Console.Reset()
+			}
+			if err != nil {
+				// A guest fault fails this thread with its structured
+				// error; Kernel.Run surfaces it instead of a panic.
+				e.Fail(err)
 			}
 			if !yielded {
 				return

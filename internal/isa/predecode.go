@@ -56,6 +56,14 @@ func (ic *icache) page(pn uint32) *icachePage {
 	return p
 }
 
+// dropAll empties the cache entirely; the next fetch of every address
+// re-decodes from memory. The chaos injector's icache-flush point uses
+// it to prove cached and freshly decoded execution are identical.
+func (ic *icache) dropAll() {
+	ic.pages = make(map[uint32]*icachePage)
+	ic.lo, ic.hi = ^uint32(0), 0
+}
+
 // invalidate clears the decoded bits of every cached word overlapping
 // the stored range [addr, addr+n). It runs on the store hot path, so
 // the common case — a store nowhere near cached text — must exit on

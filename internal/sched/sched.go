@@ -8,13 +8,22 @@
 // Guest threads are goroutines, but exactly one of them (or the kernel)
 // runs at any time, handing a single control token back and forth, so
 // execution is fully deterministic.
+//
+// Failure model: guest-triggerable conditions never panic the kernel.
+// A thread may Fail with a structured error (the ISA layer raises
+// fault.GuestFault values this way), a stuck program produces a
+// fault.DeadlockError naming every thread and registered resource, and
+// the optional cycle budget turns runaway guests into a
+// fault.BudgetError; all three surface as the error of Run.
 package sched
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/fault"
 	"cyclicwin/internal/stats"
 )
 
@@ -52,7 +61,27 @@ const (
 	Blocked
 	// Done means the thread's body returned.
 	Done
+	// Failed means the thread terminated with an error (Env.Fail or a
+	// recovered body panic); Kernel.Run returns that error.
+	Failed
 )
+
+// String returns the state name used in diagnostics.
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
 
 // TCB is the kernel's view of one guest thread.
 type TCB struct {
@@ -63,6 +92,7 @@ type TCB struct {
 	state  State
 	resume chan struct{}
 	env    *Env
+	err    error // terminal error when state is Failed
 
 	// joiners are threads blocked in Join on this one.
 	joiners []*TCB
@@ -78,12 +108,23 @@ func (t *TCB) Name() string { return t.name }
 // State returns the thread's scheduling state.
 func (t *TCB) State() State { return t.state }
 
+// Err returns the error that terminated the thread (nil unless the
+// state is Failed).
+func (t *TCB) Err() error { return t.err }
+
 // Stats returns the thread's event counters.
 func (t *TCB) Stats() *stats.ThreadCounters { return &t.Core.Stats }
 
 // SetFlushOnSwitch marks the thread to be suspended with the flushing
 // switch type (Section 4.4).
 func (t *TCB) SetFlushOnSwitch(f bool) { t.flushOnSwitch = f }
+
+// diag is a registered resource diagnostic (streams register their
+// occupancy here) consulted when building a deadlock report.
+type diag struct {
+	name string
+	fn   func() string
+}
 
 // Kernel is the non-preemptive scheduler.
 type Kernel struct {
@@ -99,6 +140,17 @@ type Kernel struct {
 	yield   chan struct{}
 	nextID  int
 	running bool
+
+	// err is the first thread failure; Run aborts with it.
+	err error
+	// maxCycles, when non-zero, is the watchdog ceiling on the
+	// simulated clock (SetMaxCycles).
+	maxCycles uint64
+	// chaos, when non-nil, perturbs execution at the kernel's safe
+	// points (SetChaos).
+	chaos *fault.Injector
+	// diags are resource diagnostics for deadlock reports.
+	diags []diag
 
 	// quantum, when non-zero, enables preemptive time-slicing — an
 	// extension beyond the paper, whose evaluation is entirely
@@ -129,6 +181,51 @@ func (k *Kernel) Cycles() *cycles.Counter { return k.cyc }
 // Threads returns all spawned threads in spawn order.
 func (k *Kernel) Threads() []*TCB { return k.threads }
 
+// SetMaxCycles arms the cycle-budget watchdog: once the simulated clock
+// passes n, the simulation stops with a fault.BudgetError naming the
+// unfinished threads. 0 disables the watchdog.
+func (k *Kernel) SetMaxCycles(n uint64) { k.maxCycles = n }
+
+// RegisterDiag adds a named resource diagnostic consulted when a
+// deadlock report is built; fn must be callable at any quiescent point.
+func (k *Kernel) RegisterDiag(name string, fn func() string) {
+	k.diags = append(k.diags, diag{name, fn})
+}
+
+// SetChaos attaches a fault injector and arms the kernel-level
+// perturbation points: adversarial preemption, the spurious
+// save/restore trap pair, and (when the manager supports it) the
+// neutral flush-reload of the running thread's resident windows. The
+// injector is consulted at guest safe points (Work and Call).
+func (k *Kernel) SetChaos(inj *fault.Injector) {
+	k.chaos = inj
+	if inj == nil {
+		return
+	}
+	inj.Arm(fault.PointPreempt, func() {
+		if k.current != nil && len(k.ready) > 0 {
+			k.yieldCurrent()
+		}
+	})
+	inj.Arm(fault.PointSpuriousTrap, func() {
+		if k.current != nil {
+			// A benign spurious trap pair: the extra save may overflow
+			// (driving the real trap handler at this call depth), the
+			// restore returns immediately; the guest's registers are
+			// untouched.
+			k.mgr.Save()
+			k.mgr.Restore()
+		}
+	})
+	if rt, ok := k.mgr.(interface{ ChaosRoundTrip() }); ok {
+		inj.Arm(fault.PointFlushReload, func() {
+			if k.current != nil {
+				rt.ChaosRoundTrip()
+			}
+		})
+	}
+}
+
 // Spawn creates a guest thread. Threads spawned before Run start in
 // spawn order; threads spawned by running guests are enqueued at the
 // back of the ready queue.
@@ -146,11 +243,26 @@ func (k *Kernel) Spawn(name string, body func(*Env)) *TCB {
 	k.ready = append(k.ready, t)
 	go func() {
 		<-t.resume
-		t.body(t.env)
-		// The body returned: terminate the thread while it is still the
-		// manager's running thread, then hand the token back for good.
-		k.mgr.Exit()
-		t.state = Done
+		err := runBody(t)
+		if err != nil {
+			t.state = Failed
+			t.err = err
+			if k.err == nil {
+				k.err = err
+			}
+			// Release the thread's windows even if the fault unwound a
+			// half-finished call chain; a secondary panic in the manager
+			// must not mask the original fault.
+			func() {
+				defer func() { _ = recover() }()
+				k.mgr.Exit()
+			}()
+		} else {
+			// The body returned: terminate the thread while it is still
+			// the manager's running thread.
+			k.mgr.Exit()
+			t.state = Done
+		}
 		for _, j := range t.joiners {
 			k.Wake(j)
 		}
@@ -161,24 +273,52 @@ func (k *Kernel) Spawn(name string, body func(*Env)) *TCB {
 	return t
 }
 
-// Run dispatches threads until all are done. It panics on deadlock
-// (blocked threads but an empty ready queue), which indicates a bug in
-// the guest program.
-func (k *Kernel) Run() {
+// threadFail is the panic sentinel Env.Fail unwinds the guest body
+// with; runBody turns it back into the carried error.
+type threadFail struct{ err error }
+
+// runBody executes the thread body, converting Env.Fail and any guest
+// panic into an error instead of killing the process.
+func runBody(t *TCB) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if tf, ok := r.(threadFail); ok {
+				err = tf.err
+				return
+			}
+			err = fmt.Errorf("sched: %s panicked: %v\n%s", t.name, r, debug.Stack())
+		}
+	}()
+	t.body(t.env)
+	return nil
+}
+
+// Run dispatches threads until all are done. It returns nil on clean
+// completion, the failing thread's error (see Env.Fail), a
+// *fault.DeadlockError when blocked threads remain with an empty ready
+// queue, or a *fault.BudgetError when the cycle budget (SetMaxCycles)
+// is exceeded.
+func (k *Kernel) Run() error {
 	if k.running {
 		panic("sched: Run called re-entrantly")
 	}
 	k.running = true
 	defer func() { k.running = false }()
 	for {
+		if k.err != nil {
+			return k.err
+		}
+		if k.maxCycles != 0 && k.cyc.Total() > k.maxCycles {
+			return k.budgetError()
+		}
 		t := k.pop()
 		if t == nil {
 			for _, th := range k.threads {
 				if th.state == Blocked {
-					panic(fmt.Sprintf("sched: deadlock: %s blocked with empty ready queue", th.name))
+					return k.deadlockError()
 				}
 			}
-			return // all done
+			return nil // all done
 		}
 		if t != k.current {
 			if out := k.current; out != nil && out.flushOnSwitch {
@@ -193,6 +333,31 @@ func (k *Kernel) Run() {
 		t.resume <- struct{}{}
 		<-k.yield
 	}
+}
+
+// threadStates snapshots every thread's scheduling state for a
+// diagnostic.
+func (k *Kernel) threadStates() []fault.ThreadState {
+	out := make([]fault.ThreadState, 0, len(k.threads))
+	for _, t := range k.threads {
+		out = append(out, fault.ThreadState{Name: t.name, State: t.state.String()})
+	}
+	return out
+}
+
+// deadlockError builds the stuck-program report: every thread's state
+// plus every registered resource diagnostic (stream occupancies).
+func (k *Kernel) deadlockError() error {
+	e := &fault.DeadlockError{Threads: k.threadStates()}
+	for _, d := range k.diags {
+		e.Resources = append(e.Resources, fault.ResourceState{Name: d.name, Detail: d.fn()})
+	}
+	return e
+}
+
+// budgetError builds the cycle-budget watchdog report.
+func (k *Kernel) budgetError() error {
+	return &fault.BudgetError{Limit: k.maxCycles, Cycle: k.cyc.Total(), Threads: k.threadStates()}
 }
 
 func (k *Kernel) pop() *TCB {
@@ -274,11 +439,27 @@ func (e *Env) Kernel() *Kernel { return e.k }
 // TCB returns the calling thread's control block.
 func (e *Env) TCB() *TCB { return e.tcb }
 
+// Fail terminates the calling thread with err: the thread becomes
+// Failed, its windows are released, and Kernel.Run returns err. Fail
+// never returns to the caller (it unwinds the guest body).
+func (e *Env) Fail(err error) {
+	panic(threadFail{err})
+}
+
 // Work charges n cycles of computation to the simulated clock. It is a
-// preemption point when time-slicing is enabled.
+// preemption point when time-slicing is enabled, a chaos consultation
+// point, and where the cycle-budget watchdog trips a runaway guest.
 func (e *Env) Work(n uint64) {
-	e.k.cyc.Add(n)
-	e.k.maybePreempt()
+	k := e.k
+	k.cyc.Add(n)
+	if k.maxCycles != 0 && k.cyc.Total() > k.maxCycles {
+		e.Fail(k.budgetError())
+	}
+	if k.chaos != nil {
+		k.chaos.Poll(fault.PointPreempt)
+		k.chaos.Poll(fault.PointFlushReload)
+	}
+	k.maybePreempt()
 }
 
 // Call invokes fn as a procedure: a save instruction allocates a window
@@ -291,6 +472,11 @@ func (e *Env) Call(fn func(*Env), args ...uint32) {
 		panic("sched: more than 6 register arguments")
 	}
 	e.k.maybePreempt()
+	if e.k.chaos != nil {
+		e.k.chaos.Poll(fault.PointSpuriousTrap)
+		e.k.chaos.Poll(fault.PointFlushReload)
+		e.k.chaos.Poll(fault.PointPreempt)
+	}
 	for i, a := range args {
 		e.k.mgr.SetReg(8+i, a) // %o0..%o5
 	}
@@ -323,13 +509,14 @@ func (e *Env) Yield() { e.k.yieldCurrent() }
 // primitives such as streams.
 func (e *Env) Block() { e.k.blockCurrent() }
 
-// Join blocks until t has finished; it returns immediately if t is
-// already done. Joining the calling thread itself panics.
+// Join blocks until t has terminated (Done or Failed); it returns
+// immediately if t is already terminal. Joining the calling thread
+// itself panics.
 func (e *Env) Join(t *TCB) {
 	if t == e.tcb {
 		panic(fmt.Sprintf("sched: %s joining itself", t.name))
 	}
-	for t.state != Done {
+	for t.state != Done && t.state != Failed {
 		t.joiners = append(t.joiners, e.tcb)
 		e.Block()
 	}

@@ -1,11 +1,13 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 
 	"cyclicwin/internal/core"
+	"cyclicwin/internal/fault"
 )
 
 func newKernel(s core.Scheme, windows int, p Policy) *Kernel {
@@ -168,16 +170,129 @@ func TestFIFOWakeGoesToBack(t *testing.T) {
 	}
 }
 
-// TestDeadlockPanics pins the diagnostic for a stuck program.
-func TestDeadlockPanics(t *testing.T) {
+// TestDeadlockReturnsDiagnostic pins the stuck-program contract: Run
+// terminates with a *fault.DeadlockError naming every thread's state
+// instead of panicking or hanging.
+func TestDeadlockReturnsDiagnostic(t *testing.T) {
 	k := newKernel(core.SchemeNS, 8, FIFO)
 	k.Spawn("stuck", func(e *Env) { e.Block() })
-	defer func() {
-		if recover() == nil {
-			t.Error("deadlocked Run did not panic")
+	k.Spawn("fine", func(e *Env) {})
+	k.RegisterDiag("resource r", func() string { return "probe ran" })
+	err := k.Run()
+	var d *fault.DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("deadlocked Run returned %v, want *fault.DeadlockError", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"1 thread(s) blocked", "stuck", "blocked", "fine", "done", "resource r", "probe ran"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
 		}
-	}()
-	k.Run()
+	}
+}
+
+// TestFailPropagates pins the thread-failure contract: Env.Fail unwinds
+// the body, marks the thread Failed, and Run returns the error while
+// other threads' completed work stands.
+func TestFailPropagates(t *testing.T) {
+	k := newKernel(core.SchemeSP, 8, FIFO)
+	sentinel := errors.New("boom")
+	ran := false
+	k.Spawn("ok", func(e *Env) { ran = true })
+	bad := k.Spawn("bad", func(e *Env) {
+		e.Call(func(e *Env) { // fail mid-call: windows must still release
+			e.Fail(sentinel)
+		})
+		t.Error("Fail returned to the body")
+	})
+	err := k.Run()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want the failing thread's error", err)
+	}
+	if bad.State() != Failed || !errors.Is(bad.Err(), sentinel) {
+		t.Errorf("thread state = %v err = %v, want Failed with the sentinel", bad.State(), bad.Err())
+	}
+	if !ran {
+		t.Error("the healthy thread spawned first never ran")
+	}
+}
+
+// TestBodyPanicBecomesError pins the no-crash rule: a raw panic in a
+// guest body is recovered into an error (with the thread named), not
+// propagated to the process.
+func TestBodyPanicBecomesError(t *testing.T) {
+	k := newKernel(core.SchemeNS, 8, FIFO)
+	k.Spawn("crasher", func(e *Env) { panic("guest bug") })
+	err := k.Run()
+	if err == nil {
+		t.Fatal("panicking guest did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "crasher") || !strings.Contains(err.Error(), "guest bug") {
+		t.Errorf("error %q does not name the thread and the panic", err)
+	}
+}
+
+// TestMaxCyclesWatchdog pins the cycle-budget watchdog on a runaway
+// guest: deterministic termination with a *fault.BudgetError naming the
+// live threads.
+func TestMaxCyclesWatchdog(t *testing.T) {
+	k := newKernel(core.SchemeSP, 8, FIFO)
+	k.SetMaxCycles(10_000)
+	k.Spawn("spinner", func(e *Env) {
+		for {
+			e.Work(100) // never terminates on its own
+		}
+	})
+	err := k.Run()
+	var b *fault.BudgetError
+	if !errors.As(err, &b) {
+		t.Fatalf("runaway guest returned %v, want *fault.BudgetError", err)
+	}
+	if b.Limit != 10_000 || b.Cycle <= b.Limit {
+		t.Errorf("budget error limit=%d cycle=%d, want cycle just past the limit", b.Limit, b.Cycle)
+	}
+	if !strings.Contains(err.Error(), "spinner") {
+		t.Errorf("diagnostic %q does not name the runaway thread", err)
+	}
+}
+
+// TestMaxCyclesNotTrippedByCleanRun checks the watchdog stays silent
+// for a run that finishes under budget.
+func TestMaxCyclesNotTrippedByCleanRun(t *testing.T) {
+	k := newKernel(core.SchemeSP, 8, FIFO)
+	k.SetMaxCycles(1_000_000)
+	k.Spawn("fib", func(e *Env) { e.Call(fib, 12) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("clean run tripped the watchdog: %v", err)
+	}
+}
+
+// TestJoinFailedThreadUnblocks checks Failed is terminal for Join: a
+// joiner of a failing thread is not stranded.
+func TestJoinFailedThreadUnblocks(t *testing.T) {
+	k := newKernel(core.SchemeSP, 8, FIFO)
+	joined := false
+	bad := k.Spawn("bad", func(e *Env) {
+		e.Yield()
+		e.Fail(errors.New("gone"))
+	})
+	k.Spawn("waiter", func(e *Env) {
+		e.Join(bad)
+		joined = true
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("failing thread did not fail the run")
+	}
+	// The kernel aborts on the first failure, so the joiner may not have
+	// resumed — but it must be woken (Ready), never left Blocked.
+	if !joined {
+		for _, th := range k.Threads() {
+			if th.Name() == "waiter" && th.State() == Blocked {
+				t.Error("joiner left blocked on a failed thread")
+			}
+		}
+	}
 }
 
 // TestSpawnDuringRun checks that a running guest can create new threads.

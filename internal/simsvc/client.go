@@ -1,0 +1,190 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a small retrying client for the winsimd API. Retries cover
+// only the transient failure classes — connection errors, 429 (pool
+// saturated) and 5xx other than deliberate job failures — with
+// exponential backoff, full jitter, and the server's Retry-After hint
+// as a floor. 4xx spec errors and 422 guest faults are returned
+// immediately: retrying a deterministic failure cannot succeed.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8091".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts per call (default 4).
+	MaxRetries int
+	// BaseBackoff is the first retry delay (default 100ms); it doubles
+	// per attempt, jittered over [0, delay).
+	BaseBackoff time.Duration
+
+	rng *rand.Rand
+}
+
+// NewClient returns a Client with the default retry policy.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:     baseURL,
+		MaxRetries:  4,
+		BaseBackoff: 100 * time.Millisecond,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response decoded from the server's error body.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("simsvc: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// retryable reports whether a status code names a transient condition.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return code == http.StatusInternalServerError
+}
+
+// backoff computes the delay before attempt n (0-based), honoring a
+// Retry-After hint as a lower bound.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if c.rng != nil {
+		d = time.Duration(c.rng.Int63n(int64(d) + 1)) // full jitter
+	}
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// Submit posts one spec; wait selects the blocking form (?wait=1). On
+// success it returns the first job view of the response.
+func (c *Client) Submit(ctx context.Context, spec JobSpec, wait bool) (*View, error) {
+	body, err := json.Marshal(map[string]any{"spec": spec})
+	if err != nil {
+		return nil, err
+	}
+	url := c.BaseURL + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+
+	maxRetries := c.MaxRetries
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+
+		v, retryAfter, err := c.do(req)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		apiErr, isAPI := err.(*APIError)
+		if isAPI && !retryable(apiErr.StatusCode) {
+			return nil, err // deterministic failure: do not retry
+		}
+		if attempt >= maxRetries {
+			return nil, fmt.Errorf("simsvc: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		select {
+		case <-time.After(c.backoff(attempt, retryAfter)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// do executes one attempt and decodes either the job list or the error
+// body, along with any Retry-After hint.
+func (c *Client) do(req *http.Request) (*View, time.Duration, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, retryAfter, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(data, &e)
+		if e.Error == "" {
+			e.Error = http.StatusText(resp.StatusCode)
+		}
+		return nil, retryAfter, &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	}
+	var out struct {
+		Jobs []View `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, retryAfter, fmt.Errorf("simsvc: decoding response: %w", err)
+	}
+	if len(out.Jobs) == 0 {
+		return nil, retryAfter, fmt.Errorf("simsvc: response contained no jobs")
+	}
+	return &out.Jobs[0], retryAfter, nil
+}
+
+// Health fetches /healthz, returning the decoded body and whether the
+// server reported itself healthy.
+func (c *Client) Health(ctx context.Context) (map[string]any, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, false, err
+	}
+	return body, resp.StatusCode == http.StatusOK, nil
+}

@@ -23,6 +23,9 @@ type Metrics struct {
 	workers int
 	busy    int
 
+	panics uint64
+	shed   uint64
+
 	latency stats.Distribution // microseconds per executed job
 }
 
@@ -65,6 +68,21 @@ func (m *Metrics) jobFinished(st Status, elapsed time.Duration) {
 	m.mu.Unlock()
 }
 
+// panicRecovered counts a simulation panic caught by the worker's
+// recovery barrier.
+func (m *Metrics) panicRecovered() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// jobShed counts a submission rejected because the queue was full.
+func (m *Metrics) jobShed() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
 // jobCached accounts a submission answered directly by the result
 // cache: it counts as a completed job with (near-)zero latency and
 // never occupies a worker.
@@ -91,6 +109,8 @@ type MetricsSnapshot struct {
 	JobsDone     uint64 `json:"jobs_done"`
 	JobsFailed   uint64 `json:"jobs_failed"`
 	JobsCanceled uint64 `json:"jobs_canceled"`
+	JobsShed     uint64 `json:"jobs_shed"`
+	PanicsTotal  uint64 `json:"panics_total"`
 
 	Workers         int     `json:"workers"`
 	BusyWorkers     int     `json:"busy_workers"`
@@ -119,6 +139,8 @@ func (m *Metrics) snapshot(cs CacheStats) MetricsSnapshot {
 		JobsDone:     m.done,
 		JobsFailed:   m.failed,
 		JobsCanceled: m.canceled,
+		JobsShed:     m.shed,
+		PanicsTotal:  m.panics,
 
 		Workers:     m.workers,
 		BusyWorkers: m.busy,

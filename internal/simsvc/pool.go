@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -151,7 +152,9 @@ func (j *Job) View(withResult bool) View {
 		t := j.finished
 		v.Finished = &t
 	}
-	if withResult && j.status == StatusDone {
+	// A failed job may still carry a partial result (e.g. the recovered
+	// panic stack); expose it alongside the error.
+	if withResult && j.result != nil {
 		v.Result = j.result
 	}
 	return v
@@ -167,6 +170,10 @@ type PoolConfig struct {
 	// discarded) so a wedged job occupies a worker only until the
 	// deadline, never forever.
 	JobTimeout time.Duration
+	// MaxQueue bounds the number of queued-but-not-running jobs; 0
+	// means unbounded. A submission beyond the bound is rejected with
+	// ErrPoolSaturated instead of growing the queue without limit.
+	MaxQueue int
 	// Cache, when non-nil, answers repeated specs without re-running
 	// and stores every completed result.
 	Cache *Cache
@@ -270,6 +277,11 @@ func (p *Pool) Submit(spec JobSpec) (*Job, error) {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("simsvc: pool is shut down")
 	}
+	if p.cfg.MaxQueue > 0 && len(p.queue) >= p.cfg.MaxQueue {
+		p.mu.Unlock()
+		p.metrics.jobShed()
+		return nil, fmt.Errorf("%w: queue full (%d jobs waiting)", ErrPoolSaturated, p.cfg.MaxQueue)
+	}
 	p.byID[id] = j
 	p.inflight[hash] = j
 	p.queue = append(p.queue, j)
@@ -278,6 +290,22 @@ func (p *Pool) Submit(spec JobSpec) (*Job, error) {
 	p.cond.Signal()
 	p.mu.Unlock()
 	return j, nil
+}
+
+// Saturated reports whether a bounded queue is currently full — the
+// condition under which Submit rejects with ErrPoolSaturated and
+// /healthz degrades.
+func (p *Pool) Saturated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.MaxQueue > 0 && len(p.queue) >= p.cfg.MaxQueue
+}
+
+// Draining reports whether the pool has stopped accepting submissions.
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 // Job looks up a job by its identifier.
@@ -334,10 +362,13 @@ func (p *Pool) runJob(j *Job) {
 	ch := make(chan outcome, 1)
 	go func() {
 		// A panicking simulation must not kill the worker, let alone
-		// the pool: it becomes this job's error and nothing else.
+		// the pool: it becomes this job's error, with the recovered
+		// stack preserved in the result for post-mortem debugging.
 		defer func() {
 			if r := recover(); r != nil {
-				ch <- outcome{nil, fmt.Errorf("simsvc: job panicked: %v", r)}
+				p.metrics.panicRecovered()
+				res := &JobResult{Spec: j.spec, PanicStack: string(debug.Stack())}
+				ch <- outcome{res, fmt.Errorf("simsvc: job panicked: %v", r)}
 			}
 		}()
 		res, err := p.execute(j.spec)
@@ -349,7 +380,7 @@ func (p *Pool) runJob(j *Job) {
 	case o := <-ch:
 		if o.err != nil {
 			st = StatusFailed
-			j.finish(st, nil, o.err)
+			j.finish(st, o.res, o.err)
 		} else {
 			st = StatusDone
 			p.cfg.Cache.Put(j.hash, o.res)
@@ -361,7 +392,7 @@ func (p *Pool) runJob(j *Job) {
 			j.finish(st, nil, fmt.Errorf("simsvc: pool shut down: %w", p.ctx.Err()))
 		} else {
 			st = StatusFailed
-			j.finish(st, nil, fmt.Errorf("simsvc: job exceeded timeout %v", p.cfg.JobTimeout))
+			j.finish(st, nil, fmt.Errorf("%w: job exceeded timeout %v", ErrTimeout, p.cfg.JobTimeout))
 		}
 	}
 	p.metrics.jobFinished(st, time.Since(start))

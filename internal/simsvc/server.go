@@ -1,10 +1,13 @@
 package simsvc
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"time"
 )
 
@@ -13,12 +16,19 @@ import (
 //	POST /v1/jobs         submit one spec or a batch; ?wait=1 blocks
 //	GET  /v1/jobs/{id}    job status, including the result when done
 //	GET  /v1/experiments  the experiment catalog
-//	GET  /healthz         liveness
+//	GET  /healthz         liveness (503 + status when degraded)
 //	GET  /metrics         pool, cache and latency counters (JSON)
+//
+// Failure classes map to distinct status codes: 429 (queue saturated,
+// with Retry-After), 504 (wait or job timeout), 422 (deterministic
+// guest fault), 500 (handler or job panic — every handler runs behind
+// a recovery barrier, so a bug serves an error instead of killing the
+// connection or the process).
 type Server struct {
-	pool  *Pool
-	mux   *http.ServeMux
-	start time.Time
+	pool       *Pool
+	mux        *http.ServeMux
+	start      time.Time
+	reqTimeout time.Duration
 }
 
 // NewServer builds the handler tree over the pool.
@@ -32,8 +42,29 @@ func NewServer(pool *Pool) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// SetRequestTimeout bounds every request's context (0 = unbounded).
+// Blocking waits (?wait=1) observe it as a 504.
+func (s *Server) SetRequestTimeout(d time.Duration) { s.reqTimeout = d }
+
+// ServeHTTP implements http.Handler: recovery barrier first, then the
+// optional per-request deadline, then the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("simsvc: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote, this is a no-op
+			// on the status line but the connection still survives.
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("internal error: handler panicked: %v", rec))
+		}
+	}()
+	if s.reqTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -84,6 +115,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, spec := range specs {
 		j, err := s.pool.Submit(spec)
 		if err != nil {
+			if errors.Is(err, ErrPoolSaturated) {
+				// Load shedding: tell the client when to come back.
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, fmt.Errorf("spec %d: %w", i, err))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("spec %d: %w", i, err))
 			return
 		}
@@ -94,7 +131,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if wait == "1" || wait == "true" {
 		for _, j := range jobs {
 			if _, err := j.Wait(r.Context()); err != nil {
-				writeError(w, http.StatusGatewayTimeout, fmt.Errorf("waiting for %s: %w", j.ID(), err))
+				// A context error (client gone, request deadline) is a
+				// 504; a terminal job error maps by failure class.
+				code := http.StatusGatewayTimeout
+				if r.Context().Err() == nil {
+					code = statusCodeOf(err)
+				}
+				writeError(w, code, fmt.Errorf("waiting for %s: %w", j.ID(), err))
 				return
 			}
 		}
@@ -139,9 +182,20 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
 }
 
+// handleHealthz degrades honestly: a saturated or draining pool
+// reports ok=false with a reason and a 503, so load balancers stop
+// sending traffic before submissions start bouncing.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":             true,
+	status, code := "ok", http.StatusOK
+	switch {
+	case s.pool.Draining():
+		status, code = "draining", http.StatusServiceUnavailable
+	case s.pool.Saturated():
+		status, code = "saturated", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ok":             code == http.StatusOK,
+		"status":         status,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        s.pool.Workers(),
 	})

@@ -59,6 +59,11 @@ type JobSpec struct {
 	SearchAlloc  bool `json:"search_alloc,omitempty"`
 	HWAssist     bool `json:"hw_assist,omitempty"`
 	TrapTransfer int  `json:"trap_transfer,omitempty"` // 0 and 1 both mean one window
+
+	// MaxCycles arms the kernel's cycle-budget watchdog for this cell
+	// (0 = off; cells only). A cell exceeding the budget fails with a
+	// diagnostic wrapping ErrGuestFault instead of running forever.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
 }
 
 // Normalize returns the spec with every default spelled canonically:
@@ -89,6 +94,7 @@ func (s JobSpec) Normalize() JobSpec {
 		// Cell-only fields cannot influence a named experiment.
 		s.Scheme, s.Windows, s.Policy, s.Behavior = "", 0, "", ""
 		s.SearchAlloc, s.HWAssist, s.TrapTransfer = false, false, 0
+		s.MaxCycles = 0
 		if len(s.WindowList) == 0 {
 			s.WindowList = append([]int(nil), harness.WindowCounts...)
 		}
@@ -138,9 +144,9 @@ func (s JobSpec) Validate() error {
 func (s JobSpec) Hash() string {
 	n := s.Normalize()
 	h := sha256.New()
-	fmt.Fprintf(h, "simsvc-spec-v1|exp=%s|scheme=%s|windows=%d|policy=%s|behavior=%s|draft=%d|dict=%d|wl=%v|search=%t|hw=%t|tt=%d",
+	fmt.Fprintf(h, "simsvc-spec-v2|exp=%s|scheme=%s|windows=%d|policy=%s|behavior=%s|draft=%d|dict=%d|wl=%v|search=%t|hw=%t|tt=%d|mc=%d",
 		n.Experiment, n.Scheme, n.Windows, n.Policy, n.Behavior,
-		n.Draft, n.Dict, n.WindowList, n.SearchAlloc, n.HWAssist, n.TrapTransfer)
+		n.Draft, n.Dict, n.WindowList, n.SearchAlloc, n.HWAssist, n.TrapTransfer, n.MaxCycles)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -267,6 +273,9 @@ type JobResult struct {
 	Output    string      `json:"output,omitempty"`
 	CSV       string      `json:"csv,omitempty"`
 	ElapsedMS float64     `json:"elapsed_ms"`
+	// PanicStack is the recovered goroutine stack of a job that
+	// panicked mid-simulation (failed jobs only).
+	PanicStack string `json:"panic_stack,omitempty"`
 }
 
 // runCell executes one simulation cell in the calling goroutine.
@@ -284,6 +293,14 @@ func runCell(s JobSpec) (*CellResult, error) {
 		HWAssist:     s.HWAssist,
 		TrapTransfer: s.TrapTransfer,
 	}
-	r := harness.RunSpellConfig(cfg, scheme, policy, b, s.Sizes())
+	r, err := harness.RunSpellWith(harness.SpellOpts{
+		Config: cfg, Scheme: scheme, Policy: policy, Behavior: b, Sizes: s.Sizes(),
+		MaxCycles: s.MaxCycles,
+	})
+	if err != nil {
+		// Deterministic guest-side failure: typed fault, deadlock or
+		// budget exhaustion. Retrying the spec cannot help.
+		return nil, fmt.Errorf("%w: %w", ErrGuestFault, err)
+	}
 	return cellResultOf(r), nil
 }

@@ -30,11 +30,16 @@ func FuzzPipelineMatchesReference(f *testing.F) {
 
 		buf := int(bufRaw)%8 + 1
 		k := sched.NewKernel(core.New(core.SchemeSP, core.Config{Windows: 8}), sched.FIFO)
-		p := New(k, Config{
+		p, err := New(k, Config{
 			M: buf, N: buf,
 			Source: src, MainDict: mainDict, ForbiddenDict: forbidden,
 		})
-		k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
 		got := p.Misspelled()
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("pipeline %v != reference %v for %q", got, want, src)

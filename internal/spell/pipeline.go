@@ -44,15 +44,27 @@ type Pipeline struct {
 	out bytes.Buffer
 }
 
-// New wires the pipeline onto k. Run k.Run() to execute it.
-func New(k *sched.Kernel, cfg Config) *Pipeline {
+// New wires the pipeline onto k. Run k.Run() to execute it. It returns
+// an error when a stream size (M or N) is not positive.
+func New(k *sched.Kernel, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{cfg: cfg}
-	p.S1 = stream.New(k, "S1", cfg.M) // T4 -> T1: raw LaTeX bytes
-	p.S2 = stream.New(k, "S2", cfg.N) // T1 -> T2: one word per line
-	p.S3 = stream.New(k, "S3", cfg.N) // T2 -> T3: words, bad ones marked
-	p.S4 = stream.New(k, "S4", cfg.M) // T3 -> T5: misspelled words
-	p.S5 = stream.New(k, "S5", cfg.M) // T6 -> T2: forbidden derivatives
-	p.S6 = stream.New(k, "S6", cfg.M) // T7 -> T3: main dictionary
+	var err error
+	mk := func(name string, capacity int) *stream.Stream {
+		s, e := stream.New(k, name, capacity)
+		if e != nil && err == nil {
+			err = e
+		}
+		return s
+	}
+	p.S1 = mk("S1", cfg.M) // T4 -> T1: raw LaTeX bytes
+	p.S2 = mk("S2", cfg.N) // T1 -> T2: one word per line
+	p.S3 = mk("S3", cfg.N) // T2 -> T3: words, bad ones marked
+	p.S4 = mk("S4", cfg.M) // T3 -> T5: misspelled words
+	p.S5 = mk("S5", cfg.M) // T6 -> T2: forbidden derivatives
+	p.S6 = mk("S6", cfg.M) // T7 -> T3: main dictionary
+	if err != nil {
+		return nil, err
+	}
 
 	p.T1 = k.Spawn("T1-delatex", p.delatex)
 	p.T2 = k.Spawn("T2-spell1", p.spell1)
@@ -61,7 +73,7 @@ func New(k *sched.Kernel, cfg Config) *Pipeline {
 	p.T5 = k.Spawn("T5-output", p.output)
 	p.T6 = k.Spawn("T6-dict1", fileReader(p.S5, cfg.ForbiddenDict))
 	p.T7 = k.Spawn("T7-dict2", fileReader(p.S6, cfg.MainDict))
-	return p
+	return p, nil
 }
 
 // Output returns the raw bytes T5 collected (misspelled words, one per

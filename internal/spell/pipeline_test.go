@@ -28,8 +28,13 @@ func testConfig(m, n int) Config {
 
 func runPipeline(s core.Scheme, windows int, policy sched.Policy, cfg Config) (*Pipeline, *sched.Kernel) {
 	k := sched.NewKernel(core.New(s, core.Config{Windows: windows}), policy)
-	p := New(k, cfg)
-	k.Run()
+	p, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
 	return p, k
 }
 

@@ -8,6 +8,7 @@ package stream
 
 import (
 	"fmt"
+	"strings"
 
 	"cyclicwin/internal/sched"
 )
@@ -33,12 +34,34 @@ type Stream struct {
 }
 
 // New creates a stream with the given buffer capacity (the paper's M or
-// N parameter).
-func New(k *sched.Kernel, name string, capacity int) *Stream {
+// N parameter). The capacity must be positive: a zero-capacity FIFO can
+// never transfer a byte under the blocking protocol, so it is rejected
+// here rather than deadlocking later. The stream registers itself with
+// the kernel's diagnostic registry, so deadlock reports show its
+// occupancy and the threads parked on it.
+func New(k *sched.Kernel, name string, capacity int) (*Stream, error) {
 	if capacity <= 0 {
-		panic(fmt.Sprintf("stream %s: capacity %d must be positive", name, capacity))
+		return nil, fmt.Errorf("stream %s: capacity %d must be positive", name, capacity)
 	}
-	return &Stream{k: k, name: name, buf: make([]byte, capacity)}
+	s := &Stream{k: k, name: name, buf: make([]byte, capacity)}
+	k.RegisterDiag("stream "+name, s.diag)
+	return s, nil
+}
+
+// diag renders the occupancy line shown in deadlock reports.
+func (s *Stream) diag() string {
+	names := func(ts []*sched.TCB) string {
+		if len(ts) == 0 {
+			return "-"
+		}
+		out := make([]string, len(ts))
+		for i, t := range ts {
+			out[i] = t.Name()
+		}
+		return strings.Join(out, ",")
+	}
+	return fmt.Sprintf("%d/%d bytes, closed=%t, blocked readers: %s, blocked writers: %s",
+		s.count, len(s.buf), s.closed, names(s.readers), names(s.writers))
 }
 
 // Name returns the stream name.
@@ -65,17 +88,18 @@ func (s *Stream) wakeWriters() {
 }
 
 // Put appends b, blocking while the buffer is full. Writing to a
-// closed stream panics (a guest program bug).
+// closed stream is a guest program bug: the calling thread fails with a
+// structured error (Env.Fail) instead of panicking the simulator.
 func (s *Stream) Put(e *sched.Env, b byte) {
 	for s.count == len(s.buf) {
 		if s.closed {
-			panic(fmt.Sprintf("stream %s: write after close", s.name))
+			e.Fail(fmt.Errorf("stream %s: write after close by %s", s.name, e.TCB().Name()))
 		}
 		s.writers = append(s.writers, e.TCB())
 		e.Block()
 	}
 	if s.closed {
-		panic(fmt.Sprintf("stream %s: write after close", s.name))
+		e.Fail(fmt.Errorf("stream %s: write after close by %s", s.name, e.TCB().Name()))
 	}
 	s.buf[(s.head+s.count)%len(s.buf)] = b
 	s.count++

@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/fault"
+	"cyclicwin/internal/sched"
+)
+
+// TestWraparoundAtCapacityBoundaries drives payloads that are exact
+// multiples of the capacity (plus off-by-one variants) through small
+// buffers, so head wraps the cyclic buffer many times at every
+// alignment; order and content must survive.
+func TestWraparoundAtCapacityBoundaries(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 4, 7, 8} {
+		for _, extra := range []int{-1, 0, 1} {
+			n := 5*capacity + extra
+			if n <= 0 {
+				continue
+			}
+			t.Run(fmt.Sprintf("cap=%d/len=%d", capacity, n), func(t *testing.T) {
+				payload := make([]byte, n)
+				for i := range payload {
+					payload[i] = byte(i * 13)
+				}
+				k := kernel(core.SchemeSP)
+				st := mustNew(t, k, "s", capacity)
+				var got []byte
+				k.Spawn("p", func(e *sched.Env) {
+					for _, b := range payload {
+						st.Put(e, b)
+					}
+					st.Close(e)
+				})
+				k.Spawn("c", func(e *sched.Env) {
+					for {
+						b, ok := st.Get(e)
+						if !ok {
+							return
+						}
+						got = append(got, b)
+					}
+				})
+				if err := k.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("wraparound scrambled the payload (cap %d, len %d)", capacity, n)
+				}
+			})
+		}
+	}
+}
+
+// TestCapacityOneHandshake pins the tightest buffer: every byte forces
+// the producer/consumer handshake, and byte counting stays exact.
+func TestCapacityOneHandshake(t *testing.T) {
+	k := kernel(core.SchemeSNP)
+	st := mustNew(t, k, "s", 1)
+	const n = 257
+	var got int
+	k.Spawn("p", func(e *sched.Env) {
+		for i := 0; i < n; i++ {
+			st.Put(e, byte(i))
+		}
+		st.Close(e)
+	})
+	k.Spawn("c", func(e *sched.Env) {
+		for i := 0; ; i++ {
+			b, ok := st.Get(e)
+			if !ok {
+				return
+			}
+			if b != byte(i) {
+				t.Errorf("byte %d = %d, want %d", i, b, byte(i))
+			}
+			got++
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n || st.BytesWritten != n {
+		t.Errorf("moved %d bytes (counter %d), want %d", got, st.BytesWritten, n)
+	}
+}
+
+// TestGetAfterProducerExit covers both producer-exit endings: a closed
+// stream drains to EOF even after the producer thread is Done, and a
+// producer that exits WITHOUT closing leaves the reader to a
+// deterministic deadlock diagnostic instead of a hang.
+func TestGetAfterProducerExit(t *testing.T) {
+	t.Run("closed", func(t *testing.T) {
+		k := kernel(core.SchemeSP)
+		st := mustNew(t, k, "s", 8)
+		var got []byte
+		p := k.Spawn("p", func(e *sched.Env) {
+			st.PutString(e, "abc")
+			st.Close(e)
+		})
+		k.Spawn("c", func(e *sched.Env) {
+			e.Join(p) // producer is fully exited before the first Get
+			for {
+				b, ok := st.Get(e)
+				if !ok {
+					return
+				}
+				got = append(got, b)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "abc" {
+			t.Errorf("drained %q after producer exit, want abc", got)
+		}
+	})
+	t.Run("unclosed", func(t *testing.T) {
+		k := kernel(core.SchemeSP)
+		st := mustNew(t, k, "s", 8)
+		k.Spawn("p", func(e *sched.Env) {
+			st.PutString(e, "abc") // exits without Close: a guest bug
+		})
+		k.Spawn("c", func(e *sched.Env) {
+			for {
+				if _, ok := st.Get(e); !ok {
+					return
+				}
+			}
+		})
+		err := k.Run()
+		var d *fault.DeadlockError
+		if !errors.As(err, &d) {
+			t.Fatalf("unclosed stream produced %v, want a deadlock diagnostic", err)
+		}
+		if !strings.Contains(err.Error(), "c") || !strings.Contains(err.Error(), "stream s") {
+			t.Errorf("diagnostic %q names neither the blocked reader nor the stream", err)
+		}
+	})
+}
+
+// TestUndersizedPipelineDeadlockDiagnostic pins the acceptance
+// scenario: a two-thread exchange over two capacity-1 streams where
+// each side writes two bytes before reading — a classic undersized
+// buffer cycle. The run must terminate with a diagnostic naming both
+// blocked threads and both streams' occupancies.
+func TestUndersizedPipelineDeadlockDiagnostic(t *testing.T) {
+	k := kernel(core.SchemeSP)
+	x := mustNew(t, k, "X", 1)
+	y := mustNew(t, k, "Y", 1)
+	k.Spawn("alice", func(e *sched.Env) {
+		x.Put(e, 1)
+		x.Put(e, 2) // blocks: X is full and bob has not drained it yet
+		y.Get(e)
+		y.Get(e)
+	})
+	k.Spawn("bob", func(e *sched.Env) {
+		y.Put(e, 1)
+		y.Put(e, 2) // blocks: Y is full and alice has not drained it yet
+		x.Get(e)
+		x.Get(e)
+	})
+	err := k.Run()
+	var d *fault.DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("undersized exchange produced %v, want *fault.DeadlockError", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"deadlock", "2 thread(s) blocked",
+		"alice", "bob",
+		"stream X", "stream Y",
+		"1/1 bytes",
+		"blocked writers: alice", "blocked writers: bob",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+	blocked := 0
+	for _, th := range d.Threads {
+		if th.State == "blocked" {
+			blocked++
+		}
+	}
+	if blocked != 2 {
+		t.Errorf("diagnostic records %d blocked threads, want 2", blocked)
+	}
+	if len(d.Resources) != 2 {
+		t.Errorf("diagnostic records %d resources, want the 2 streams", len(d.Resources))
+	}
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -14,6 +15,16 @@ func kernel(s core.Scheme) *sched.Kernel {
 	return sched.NewKernel(core.New(s, core.Config{Windows: 8}), sched.FIFO)
 }
 
+// mustNew creates a stream, failing the test on a constructor error.
+func mustNew(t *testing.T, k *sched.Kernel, name string, capacity int) *Stream {
+	t.Helper()
+	s, err := New(k, name, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // TestProducerConsumer moves a message through a tiny buffer and checks
 // content, order and blocking behaviour under every scheme.
 func TestProducerConsumer(t *testing.T) {
@@ -22,7 +33,7 @@ func TestProducerConsumer(t *testing.T) {
 		for _, capacity := range []int{1, 2, 7, 64, 1024} {
 			t.Run(fmt.Sprintf("%v/cap=%d", s, capacity), func(t *testing.T) {
 				k := kernel(s)
-				st := New(k, "s", capacity)
+				st := mustNew(t, k, "s", capacity)
 				var got bytes.Buffer
 				k.Spawn("producer", func(e *sched.Env) {
 					st.PutString(e, msg)
@@ -55,7 +66,7 @@ func TestProducerConsumer(t *testing.T) {
 func TestGranularityFollowsBufferSize(t *testing.T) {
 	run := func(capacity int) uint64 {
 		k := kernel(core.SchemeSP)
-		st := New(k, "s", capacity)
+		st := mustNew(t, k, "s", capacity)
 		const n = 4096
 		k.Spawn("producer", func(e *sched.Env) {
 			for i := 0; i < n; i++ {
@@ -94,7 +105,7 @@ func TestFIFOOrderProperty(t *testing.T) {
 	prop := func(payload []byte, capRaw uint8) bool {
 		capacity := int(capRaw)%32 + 1
 		k := kernel(core.SchemeSNP)
-		st := New(k, "s", capacity)
+		st := mustNew(t, k, "s", capacity)
 		var got []byte
 		k.Spawn("p", func(e *sched.Env) {
 			for _, b := range payload {
@@ -123,8 +134,8 @@ func TestFIFOOrderProperty(t *testing.T) {
 // shape of the spell checker's T1->T2->T3 path.
 func TestPipelineOfThree(t *testing.T) {
 	k := kernel(core.SchemeSP)
-	s1 := New(k, "s1", 4)
-	s2 := New(k, "s2", 4)
+	s1 := mustNew(t, k, "s1", 4)
+	s2 := mustNew(t, k, "s2", 4)
 	var out bytes.Buffer
 	k.Spawn("source", func(e *sched.Env) {
 		s1.PutString(e, "abcdefg")
@@ -155,37 +166,47 @@ func TestPipelineOfThree(t *testing.T) {
 	}
 }
 
-// TestWriteAfterClosePanics pins the misuse diagnostic.
-func TestWriteAfterClosePanics(t *testing.T) {
+// TestWriteAfterCloseFailsThread pins the misuse diagnostic: the guest
+// bug fails the run with a structured error instead of panicking.
+func TestWriteAfterCloseFailsThread(t *testing.T) {
 	k := kernel(core.SchemeNS)
-	st := New(k, "s", 4)
-	k.Spawn("bad", func(e *sched.Env) {
+	st := mustNew(t, k, "s", 4)
+	bad := k.Spawn("bad", func(e *sched.Env) {
 		st.Close(e)
-		defer func() {
-			if recover() == nil {
-				t.Error("write after close did not panic")
-			}
-		}()
 		st.Put(e, 'x')
 	})
-	k.Run()
+	err := k.Run()
+	if err == nil {
+		t.Fatal("write after close did not fail the run")
+	}
+	for _, want := range []string{"stream s", "write after close", "bad"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if bad.State() != sched.Failed {
+		t.Errorf("thread state = %v, want Failed", bad.State())
+	}
+	if bad.Err() == nil {
+		t.Error("failed thread carries no error")
+	}
 }
 
-// TestZeroCapacityPanics pins the constructor contract.
-func TestZeroCapacityPanics(t *testing.T) {
+// TestZeroCapacityRejected pins the constructor contract: zero and
+// negative capacities are errors, not panics or latent deadlocks.
+func TestZeroCapacityRejected(t *testing.T) {
 	k := kernel(core.SchemeNS)
-	defer func() {
-		if recover() == nil {
-			t.Error("zero capacity did not panic")
+	for _, capacity := range []int{0, -1, -1000} {
+		if _, err := New(k, "s", capacity); err == nil {
+			t.Errorf("capacity %d accepted", capacity)
 		}
-	}()
-	New(k, "s", 0)
+	}
 }
 
 // TestReadAfterCloseDrains checks buffered bytes survive Close.
 func TestReadAfterCloseDrains(t *testing.T) {
 	k := kernel(core.SchemeSP)
-	st := New(k, "s", 8)
+	st := mustNew(t, k, "s", 8)
 	var got []byte
 	k.Spawn("p", func(e *sched.Env) {
 		st.PutString(e, "xyz")

@@ -32,7 +32,11 @@ func Ring(k *sched.Kernel, n, laps int) (result func() uint32) {
 	}
 	links := make([]*stream.Stream, n)
 	for i := range links {
-		links[i] = stream.New(k, fmt.Sprintf("link%d", i), 1)
+		s, err := stream.New(k, fmt.Sprintf("link%d", i), 1)
+		if err != nil {
+			panic(err) // capacity is the constant 1; unreachable
+		}
+		links[i] = s
 	}
 	var final uint32
 	for i := 0; i < n; i++ {
