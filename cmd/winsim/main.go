@@ -11,7 +11,11 @@
 // dictionaries). Figure sweeps execute their cells concurrently on a
 // simsvc worker pool (-parallel=false forces the serial path; both
 // produce byte-identical output). With -cachedir, completed cells are
-// stored on disk and reused across invocations.
+// stored on disk and reused across invocations. With -trace FILE, every
+// cell records its window-management events and the run writes one
+// Chrome trace_event JSON file (open it in chrome://tracing or
+// Perfetto); tracing only observes, so the printed tables are
+// unchanged.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/fault"
 	"cyclicwin/internal/harness"
+	"cyclicwin/internal/obs"
+	"cyclicwin/internal/sched"
 	"cyclicwin/internal/simsvc"
 )
 
@@ -42,6 +48,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	maxCycles := flag.Uint64("maxcycles", 0, "per-simulation cycle budget; a cell exceeding it aborts with a diagnostic (0 = off)")
 	faultSeed := flag.Int64("faultseed", 0, "arm the chaos injector with this seed: benign perturbations fire throughout every cell (0 = off)")
+	traceOut := flag.String("trace", "", "record every cell's window events and write a Chrome trace_event JSON file (forces the serial runner)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -104,9 +111,15 @@ func main() {
 	// and chaos flags force the serial path: their results must not be
 	// answered from (or stored into) a cache keyed without them.
 	runner := harness.RunSerial
-	if *maxCycles > 0 || *faultSeed != 0 {
+	var chrome *obs.ChromeTrace
+	if *traceOut != "" {
+		// Tracing forces the serial path too: one tracer per cell, one
+		// Chrome process per cell, all in one file in sweep order.
+		chrome = &obs.ChromeTrace{}
+	}
+	if *maxCycles > 0 || *faultSeed != 0 || chrome != nil {
 		*parallel = false
-		runner = watchdogRunner(*maxCycles, *faultSeed)
+		runner = serialRunner(*maxCycles, *faultSeed, chrome)
 	}
 	if *parallel {
 		cache, err := simsvc.NewCache(0, *cacheDir)
@@ -142,16 +155,37 @@ func main() {
 		for _, name := range simsvc.ExperimentNames() {
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+
+	if chrome != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := chrome.Encode(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "winsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+	}
 }
 
-// watchdogRunner executes cells serially under the cycle-budget
-// watchdog and/or the seeded chaos injector. A cell that trips either
-// terminates the run with its diagnostic (exit 1) — runaway or faulty
-// guests abort instead of hanging the sweep.
-func watchdogRunner(maxCycles uint64, faultSeed int64) harness.Runner {
+// serialRunner executes cells serially under any combination of the
+// cycle-budget watchdog, the seeded chaos injector and the event
+// tracer (one Chrome process per cell, in sweep order). A cell that
+// trips the watchdog or faults terminates the run with its diagnostic
+// (exit 1) — runaway or faulty guests abort instead of hanging the
+// sweep.
+func serialRunner(maxCycles uint64, faultSeed int64, chrome *obs.ChromeTrace) harness.Runner {
+	pid := 0
 	return func(cells []harness.CellSpec) []harness.Result {
 		out := make([]harness.Result, len(cells))
 		for i, c := range cells {
@@ -162,15 +196,31 @@ func watchdogRunner(maxCycles uint64, faultSeed int64) harness.Runner {
 				inj.Enable(fault.PointSpuriousTrap, 1500)
 				inj.Enable(fault.PointFlushReload, 2000)
 			}
-			r, err := harness.RunSpellWith(harness.SpellOpts{
+			opts := harness.SpellOpts{
 				Config: core.Config{Windows: c.Windows},
 				Scheme: c.Scheme, Policy: c.Policy, Behavior: c.Behavior, Sizes: c.Sizes,
 				MaxCycles: maxCycles, Chaos: inj,
-			})
+			}
+			var tr *obs.Tracer
+			if chrome != nil {
+				tr = obs.NewTracer(0)
+				opts.OnManager = func(m core.Manager) { tr.Attach(m) }
+				opts.OnKernel = func(k *sched.Kernel) {
+					for _, t := range k.Threads() {
+						tr.SetThreadName(t.Core.ID, t.Name())
+					}
+				}
+			}
+			r, err := harness.RunSpellWith(opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "winsim: cell %v/w%d/%s: %v\n",
 					c.Scheme, c.Windows, c.Behavior.Name, err)
 				os.Exit(1)
+			}
+			if tr != nil {
+				pid++
+				chrome.AddProcess(pid, fmt.Sprintf("%v/w%d/%s/%s",
+					c.Scheme, c.Windows, c.Policy, c.Behavior.Name), tr.Snapshot())
 			}
 			out[i] = r
 		}

@@ -9,12 +9,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs         submit a spec or batch (?wait=1 blocks for results)
-//	GET  /v1/jobs/{id}    job status and result
-//	GET  /v1/experiments  experiment catalog
-//	GET  /healthz         liveness
-//	GET  /metrics         pool/cache/latency counters
-//	GET  /debug/pprof/    live profiling (only with -pprof)
+//	POST /v1/jobs             submit a spec or batch (?wait=1 blocks for results)
+//	GET  /v1/jobs/{id}        job status and result
+//	GET  /v1/jobs/{id}/trace  Chrome trace of a cell submitted with "trace": true
+//	GET  /v1/experiments      experiment catalog
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text exposition (?format=json for JSON)
+//	GET  /debug/pprof/        live profiling (only with -pprof)
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight jobs before exiting; a second signal aborts immediately.

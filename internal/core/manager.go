@@ -183,6 +183,12 @@ type machine struct {
 	transfer int // windows moved per overflow trap (Config.TrapTransfer)
 	activity *stats.ActivityRecorder
 	hw       bool // hardware-assisted cost model (Config.HWAssist)
+
+	// onEvent, when non-nil, receives one Event per window-management
+	// operation (events.go). evNest suppresses emission from operations
+	// that run inside another one (SwitchFlush runs Switch).
+	onEvent EventHook
+	evNest  int
 }
 
 func newMachine(cfg Config) machine {
@@ -363,6 +369,8 @@ func (m *machine) restoreOuts(t *Thread) {
 func (m *machine) exitCommon(clearPRW bool) *Thread {
 	m.mustRun("Exit")
 	t := m.running
+	snap := m.evBegin()
+	defer m.evEnd(EvExit, t.ID, snap)
 	m.syncCWP(t)
 	m.noteSuspend(t)
 	if t.HasWindows() {

@@ -41,7 +41,15 @@ func (ns *NS) Resident(t *Thread) bool {
 
 // Switch flushes all active windows of the running thread, then restores
 // the stack-top window of t (Table 2, NS rows: k saves + 1 restore).
-func (ns *NS) Switch(t *Thread) {
+func (ns *NS) Switch(t *Thread) { ns.switchTo(t, EvSwitch) }
+
+// SwitchFlush is identical to Switch for NS, which always flushes; only
+// the reported event kind differs.
+func (ns *NS) SwitchFlush(t *Thread) { ns.switchTo(t, EvSwitchFlush) }
+
+func (ns *NS) switchTo(t *Thread, kind EventKind) {
+	snap := ns.evBegin()
+	defer ns.evEnd(kind, t.ID, snap)
 	if t == ns.running {
 		return
 	}
@@ -91,9 +99,6 @@ func (ns *NS) Switch(t *Thread) {
 		uint64(restores)*cycles.SwitchRestoreNS, saves, restores)
 }
 
-// SwitchFlush is identical to Switch for NS, which always flushes.
-func (ns *NS) SwitchFlush(t *Thread) { ns.Switch(t) }
-
 // Save executes a save instruction, spilling stack-bottom windows on
 // overflow exactly as in Figure 3. With a transfer depth above one
 // (Config.TrapTransfer), one trap spills several of the oldest windows
@@ -102,6 +107,8 @@ func (ns *NS) SwitchFlush(t *Thread) { ns.Switch(t) }
 func (ns *NS) Save() {
 	ns.mustRun("Save")
 	t := ns.running
+	snap := ns.evBegin()
+	defer ns.evEnd(EvSave, t.ID, snap)
 	ns.countSave(t)
 	if !ns.file.Save() {
 		ns.cnt.OverflowTraps++
@@ -162,6 +169,8 @@ func (ns *NS) Restore() {
 	if t.depth == 0 {
 		panic(fmt.Sprintf("core: %v restored past its outermost frame; use Exit", t))
 	}
+	snap := ns.evBegin()
+	defer ns.evEnd(EvRestore, t.ID, snap)
 	ns.countRestore(t)
 	if !ns.file.Restore() {
 		// Window underflow: restore the caller's window into its

@@ -74,6 +74,8 @@ func (m *machine) spillBottom(w int, rescuePRW bool) {
 func (m *machine) sharedSave(grow func(t *Thread, k int) int) {
 	m.mustRun("Save")
 	t := m.running
+	snap := m.evBegin()
+	defer m.evEnd(EvSave, t.ID, snap)
 	m.countSave(t)
 	if !m.file.Save() {
 		// Window overflow: the thread has exhausted its region.
@@ -129,6 +131,8 @@ func (m *machine) sharedRestore() {
 	if t.depth == 0 {
 		panic(fmt.Sprintf("core: %v restored past its outermost frame; use Exit", t))
 	}
+	snap := m.evBegin()
+	defer m.evEnd(EvRestore, t.ID, snap)
 	m.countRestore(t)
 	if !m.file.Restore() {
 		// Window underflow at the thread's stack-bottom.

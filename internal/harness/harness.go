@@ -183,8 +183,13 @@ type SpellOpts struct {
 	Chaos *fault.Injector
 	// OnManager, when non-nil, receives the constructed window manager
 	// before the run starts; the chaos suite uses it to hook invariant
-	// checks onto injector firings.
+	// checks onto injector firings, the observability layer to attach
+	// an event tracer.
 	OnManager func(core.Manager)
+	// OnKernel, when non-nil, receives the kernel after the workload's
+	// threads are spawned and before the run starts; the observability
+	// layer uses it to label thread ids in exported traces.
+	OnKernel func(*sched.Kernel)
 }
 
 // RunSpellWith executes one spell-checker run with watchdog and chaos
@@ -211,6 +216,9 @@ func RunSpellWith(o SpellOpts) (Result, error) {
 	})
 	if err != nil {
 		return Result{}, err
+	}
+	if o.OnKernel != nil {
+		o.OnKernel(k)
 	}
 	if err := k.Run(); err != nil {
 		return Result{}, err

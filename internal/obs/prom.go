@@ -1,0 +1,169 @@
+// Package obs is the unified observability layer: a hand-rolled
+// Prometheus text-format (version 0.0.4) exposition writer, a bounded
+// ring-buffer tracer over the core's window-management event hook, and
+// a Chrome trace_event exporter — all stdlib-only, since the repo bakes
+// in no dependencies. winsimd serves the exposition on /metrics and job
+// traces on /v1/jobs/{id}/trace; winsim -trace writes Chrome traces
+// loadable in chrome://tracing or Perfetto.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cyclicwin/internal/stats"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for building a label list in place.
+func L(pairs ...string) []Label {
+	if len(pairs)%2 != 0 {
+		panic("obs: L needs name/value pairs")
+	}
+	out := make([]Label, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Label{Name: pairs[i], Value: pairs[i+1]})
+	}
+	return out
+}
+
+// Bucket is one cumulative histogram bucket: Cumulative samples were
+// <= LE.
+type Bucket struct {
+	LE         float64
+	Cumulative uint64
+}
+
+// Writer emits Prometheus text format 0.0.4. Errors stick: the first
+// write failure is kept and later calls are no-ops, so callers check
+// Err once at the end.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err reports the first write error, if any.
+func (p *Writer) Err() error { return p.err }
+
+func (p *Writer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the # HELP and # TYPE lines for a metric family. typ is
+// one of "counter", "gauge", "histogram".
+func (p *Writer) Header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample line.
+func (p *Writer) Sample(name string, labels []Label, value float64) {
+	p.printf("%s%s %s\n", name, renderLabels(labels), formatValue(value))
+}
+
+// Histogram emits a full histogram family: one _bucket line per bucket
+// plus the implicit +Inf bucket, then _sum and _count. buckets must be
+// sorted by LE with non-decreasing cumulative counts.
+func (p *Writer) Histogram(name string, labels []Label, buckets []Bucket, sum float64, count uint64) {
+	for _, b := range buckets {
+		p.printf("%s_bucket%s %d\n", name, renderLabels(withLE(labels, b.LE)), b.Cumulative)
+	}
+	p.printf("%s_bucket%s %d\n", name, renderLabels(withLE(labels, math.Inf(1))), count)
+	p.printf("%s_sum%s %s\n", name, renderLabels(labels), formatValue(sum))
+	p.printf("%s_count%s %d\n", name, renderLabels(labels), count)
+}
+
+// DistributionBuckets converts an exact stats.Distribution into native
+// buckets: one boundary per distinct observation, so the exposition
+// loses nothing (switch costs take only a handful of distinct values).
+func DistributionBuckets(d *stats.Distribution) (buckets []Bucket, sum float64, count uint64) {
+	values, counts := d.Values()
+	var cum uint64
+	for i, v := range values {
+		cum += counts[i]
+		buckets = append(buckets, Bucket{LE: float64(v), Cumulative: cum})
+		sum += float64(v) * float64(counts[i])
+	}
+	return buckets, sum, d.N()
+}
+
+// FoldBuckets folds a Distribution into fixed bucket bounds, scaling
+// each observation by scale first (e.g. 1e-6 to expose microsecond
+// samples in seconds). bounds must be sorted ascending.
+func FoldBuckets(d *stats.Distribution, bounds []float64, scale float64) (buckets []Bucket, sum float64, count uint64) {
+	values, counts := d.Values()
+	buckets = make([]Bucket, len(bounds))
+	for i, le := range bounds {
+		buckets[i].LE = le
+	}
+	for i, v := range values {
+		s := float64(v) * scale
+		sum += s * float64(counts[i])
+		// Count the sample into every bucket whose bound admits it;
+		// sort.SearchFloat64s finds the first bound >= s.
+		for j := sort.SearchFloat64s(bounds, s); j < len(bounds); j++ {
+			buckets[j].Cumulative += counts[i]
+		}
+	}
+	return buckets, sum, d.N()
+}
+
+func withLE(labels []Label, le float64) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, Label{Name: "le", Value: formatValue(le)})
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

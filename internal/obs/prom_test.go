@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cyclicwin/internal/obs/promtest"
+	"cyclicwin/internal/stats"
+)
+
+// fixedExposition renders a deterministic exposition exercising every
+// writer feature: plain counters/gauges, labels needing escapes, an
+// exact histogram and a folded one.
+func fixedExposition() string {
+	var d stats.Distribution
+	for _, v := range []uint64{17, 17, 42, 42, 42, 250} {
+		d.Observe(v)
+	}
+	var sb strings.Builder
+	p := NewWriter(&sb)
+	p.Header("demo_jobs_total", "Jobs by terminal state.", "counter")
+	p.Sample("demo_jobs_total", L("state", "done"), 12)
+	p.Sample("demo_jobs_total", L("state", "failed"), 3)
+	p.Header("demo_workers", "Configured worker count.", "gauge")
+	p.Sample("demo_workers", nil, 4)
+	p.Header("demo_label_escapes", `Help with a backslash \ and
+newline.`, "gauge")
+	p.Sample("demo_label_escapes", L("path", `a"b\c`), 1)
+	p.Header("demo_cost_cycles", "Exact switch-cost histogram.", "histogram")
+	b, sum, n := DistributionBuckets(&d)
+	p.Histogram("demo_cost_cycles", L("scheme", "SP"), b, sum, n)
+	p.Header("demo_latency_seconds", "Folded latency histogram.", "histogram")
+	fb, fsum, fn := FoldBuckets(&d, []float64{1e-5, 1e-4, 1e-3}, 1e-6)
+	p.Histogram("demo_latency_seconds", nil, fb, fsum, fn)
+	if p.Err() != nil {
+		panic(p.Err())
+	}
+	return sb.String()
+}
+
+func TestWriterGolden(t *testing.T) {
+	got := fixedExposition()
+	goldenPath := filepath.Join("testdata", "exposition.prom")
+	if os.Getenv("OBS_UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (set OBS_UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func TestWriterOutputParses(t *testing.T) {
+	fams, err := promtest.Parse(fixedExposition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"demo_jobs_total", "demo_workers", "demo_cost_cycles", "demo_latency_seconds"} {
+		if fams[name] == nil || len(fams[name].Samples) == 0 {
+			t.Errorf("family %s missing or empty", name)
+		}
+	}
+	if got := fams["demo_jobs_total"].Type; got != "counter" {
+		t.Errorf("demo_jobs_total type = %q", got)
+	}
+	// The exact histogram keeps every distinct observation as a bound.
+	var les []string
+	for _, s := range fams["demo_cost_cycles"].Samples {
+		if strings.HasSuffix(s.Name, "_bucket") {
+			les = append(les, s.Labels["le"])
+		}
+	}
+	want := []string{"17", "42", "250", "+Inf"}
+	if len(les) != len(want) {
+		t.Fatalf("bucket bounds %v, want %v", les, want)
+	}
+	for i := range want {
+		if les[i] != want[i] {
+			t.Fatalf("bucket bounds %v, want %v", les, want)
+		}
+	}
+}
+
+func TestDistributionBuckets(t *testing.T) {
+	var d stats.Distribution
+	d.Observe(3)
+	d.Observe(3)
+	d.Observe(9)
+	b, sum, n := DistributionBuckets(&d)
+	if n != 3 || sum != 15 {
+		t.Fatalf("n=%d sum=%g, want 3/15", n, sum)
+	}
+	if len(b) != 2 || b[0] != (Bucket{LE: 3, Cumulative: 2}) || b[1] != (Bucket{LE: 9, Cumulative: 3}) {
+		t.Fatalf("buckets %+v", b)
+	}
+}
+
+func TestFoldBuckets(t *testing.T) {
+	var d stats.Distribution
+	// Samples in µs: 5, 50, 50, 5000.
+	for _, v := range []uint64{5, 50, 50, 5000} {
+		d.Observe(v)
+	}
+	bounds := []float64{1e-5, 1e-4, 1e-3} // 10µs, 100µs, 1ms in seconds
+	b, sum, n := FoldBuckets(&d, bounds, 1e-6)
+	if n != 4 {
+		t.Fatalf("n=%d", n)
+	}
+	if math.Abs(sum-5105e-6) > 1e-12 {
+		t.Fatalf("sum=%g, want 5105e-6", sum)
+	}
+	wantCum := []uint64{1, 3, 3} // 5µs<=10µs; +two 50µs <=100µs; 5ms over all bounds
+	for i, w := range wantCum {
+		if b[i].Cumulative != w {
+			t.Fatalf("bucket %d cumulative %d, want %d (%+v)", i, b[i].Cumulative, w, b)
+		}
+	}
+	// A sample exactly on a bound counts into that bound's bucket.
+	var e stats.Distribution
+	e.Observe(10)
+	eb, _, _ := FoldBuckets(&e, bounds, 1e-6)
+	if eb[0].Cumulative != 1 {
+		t.Fatalf("boundary sample not counted le-inclusively: %+v", eb)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		1:           "1",
+		0.5:         "0.5",
+		math.Inf(1): "+Inf",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

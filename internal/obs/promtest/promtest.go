@@ -1,0 +1,243 @@
+// Package promtest validates Prometheus text exposition format 0.0.4
+// well enough for tests: families must declare # TYPE before samples,
+// sample lines must parse, histogram families must be complete
+// (_bucket series ending at le="+Inf", _sum, _count) with
+// non-decreasing cumulative buckets. It is a test aid, not a full
+// scraper.
+package promtest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, untyped...
+	Help    string
+	Samples []Sample
+}
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string // full sample name, e.g. family_bucket
+	Labels map[string]string
+	Value  float64
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) ([a-z]+)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( [0-9]+)?$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// Parse validates body and returns the families by name.
+func Parse(body string) (map[string]*Family, error) {
+	families := make(map[string]*Family)
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			f := family(families, m[1])
+			f.Help = m[2]
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			f := family(families, m[1])
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: # TYPE %s after its samples", lineNo, m[1])
+			}
+			f.Type = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, rawLabels, rawValue := m[1], m[2], m[3]
+		value, err := parseValue(rawValue)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, rawValue, err)
+		}
+		labels, err := parseLabels(rawLabels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyNameOf(name, families)
+		f, ok := families[fam]
+		if !ok || f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s before # TYPE %s", lineNo, name, fam)
+		}
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	for name, f := range families {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, fmt.Errorf("histogram %s: %v", name, err)
+			}
+		}
+	}
+	return families, nil
+}
+
+// family returns the named family, creating it if new.
+func family(families map[string]*Family, name string) *Family {
+	f, ok := families[name]
+	if !ok {
+		f = &Family{Name: name}
+		families[name] = f
+	}
+	return f
+}
+
+// familyNameOf strips the histogram sample suffixes when the base name
+// is a declared family.
+func familyNameOf(sample string, families map[string]*Family) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base != sample {
+			if f, ok := families[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return strconv.ParseFloat(strings.TrimPrefix(s, "+"), 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(raw string) (map[string]string, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(raw, "{"), "}")
+	if inner == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range splitLabels(inner) {
+		m := labelRe.FindStringSubmatch(pair)
+		if m == nil {
+			return nil, fmt.Errorf("malformed label %q", pair)
+		}
+		out[m[1]] = m[2]
+	}
+	return out, nil
+}
+
+// splitLabels splits a{...} body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// checkHistogram verifies each label-set of a histogram family has
+// non-decreasing buckets ending at le="+Inf" equal to _count.
+func checkHistogram(f *Family) error {
+	type series struct {
+		buckets []Sample
+		sum     *Sample
+		count   *Sample
+	}
+	bySeries := map[string]*series{}
+	key := func(labels map[string]string) string {
+		var parts []string
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	get := func(labels map[string]string) *series {
+		k := key(labels)
+		s, ok := bySeries[k]
+		if !ok {
+			s = &series{}
+			bySeries[k] = s
+		}
+		return s
+	}
+	for i := range f.Samples {
+		smp := f.Samples[i]
+		s := get(smp.Labels)
+		switch {
+		case strings.HasSuffix(smp.Name, "_bucket"):
+			s.buckets = append(s.buckets, smp)
+		case strings.HasSuffix(smp.Name, "_sum"):
+			s.sum = &f.Samples[i]
+		case strings.HasSuffix(smp.Name, "_count"):
+			s.count = &f.Samples[i]
+		default:
+			return fmt.Errorf("unexpected sample %s in histogram", smp.Name)
+		}
+	}
+	// A declared family with no samples yet is legal (e.g. a histogram
+	// labelled by scheme before any simulation ran).
+	for k, s := range bySeries {
+		if len(s.buckets) == 0 || s.sum == nil || s.count == nil {
+			return fmt.Errorf("series {%s} incomplete (%d buckets, sum %v, count %v)",
+				k, len(s.buckets), s.sum != nil, s.count != nil)
+		}
+		prev := -1.0
+		prevCum := -1.0
+		lastLE := ""
+		for _, b := range s.buckets {
+			le, ok := b.Labels["le"]
+			if !ok {
+				return fmt.Errorf("series {%s}: bucket without le", k)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("series {%s}: bad le %q", k, le)
+			}
+			if bound <= prev {
+				return fmt.Errorf("series {%s}: le %q out of order", k, le)
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("series {%s}: cumulative count decreased at le %q", k, le)
+			}
+			prev, prevCum, lastLE = bound, b.Value, le
+		}
+		if lastLE != "+Inf" {
+			return fmt.Errorf("series {%s}: missing le=\"+Inf\" bucket", k)
+		}
+		if prevCum != s.count.Value {
+			return fmt.Errorf("series {%s}: +Inf bucket %g != count %g", k, prevCum, s.count.Value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cyclicwin/internal/core"
+)
+
+// Tracer records core window-management events into a bounded ring. It
+// is the low-overhead side of the observability layer: installing its
+// Hook costs the schemes one nil check per operation when disabled and
+// one ring store when enabled — no allocation, no locking (the
+// simulation is single-goroutine by construction).
+type Tracer struct {
+	ring  []core.Event
+	next  uint64 // total events ever recorded
+	limit int
+	names map[int]string
+}
+
+// DefaultTraceLimit bounds a trace ring when the caller does not choose
+// a size.
+const DefaultTraceLimit = 4096
+
+// NewTracer returns a tracer keeping the most recent limit events
+// (DefaultTraceLimit if limit <= 0).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	pre := limit
+	if pre > 1024 {
+		pre = 1024 // grow on demand past this
+	}
+	return &Tracer{limit: limit, ring: make([]core.Event, 0, pre)}
+}
+
+// Hook returns the event hook recording into the ring, for
+// core.EventSource.SetEventHook.
+func (t *Tracer) Hook() core.EventHook { return t.observe }
+
+// Attach installs the tracer on m when the manager can report events
+// (the NS, SNP and SP schemes). It reports whether it attached; the
+// Reference oracle has no event source and yields false.
+func (t *Tracer) Attach(m core.Manager) bool {
+	src, ok := m.(core.EventSource)
+	if ok {
+		src.SetEventHook(t.observe)
+	}
+	return ok
+}
+
+func (t *Tracer) observe(ev core.Event) {
+	if len(t.ring) < t.limit {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[int(t.next)%t.limit] = ev
+	}
+	t.next++
+}
+
+// SetThreadName labels a thread id for exports.
+func (t *Tracer) SetThreadName(id int, name string) {
+	if t.names == nil {
+		t.names = make(map[int]string)
+	}
+	t.names[id] = name
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []core.Event {
+	if t.next <= uint64(t.limit) {
+		out := make([]core.Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]core.Event, 0, t.limit)
+	start := int(t.next) % t.limit
+	out = append(out, t.ring[start:]...)
+	out = append(out, t.ring[:start]...)
+	return out
+}
+
+// Total reports how many events were recorded overall, including ones
+// that fell out of the ring.
+func (t *Tracer) Total() uint64 { return t.next }
+
+// Snapshot packages the ring for transport (simsvc job results).
+func (t *Tracer) Snapshot() *JobTrace {
+	jt := &JobTrace{Total: t.next, Limit: t.limit, Events: t.Events()}
+	if len(t.names) > 0 {
+		jt.ThreadNames = make(map[int]string, len(t.names))
+		for id, name := range t.names {
+			jt.ThreadNames[id] = name
+		}
+	}
+	return jt
+}
+
+// JobTrace is the wire form of one simulation's event trace: the ring
+// contents plus enough metadata to tell whether events were dropped.
+type JobTrace struct {
+	// Total is how many events the run produced; when it exceeds
+	// Limit, only the newest Limit events survive in Events.
+	Total uint64 `json:"total_events"`
+	Limit int    `json:"ring_limit"`
+	// ThreadNames labels thread ids (JSON objects key by string).
+	ThreadNames map[int]string `json:"thread_names,omitempty"`
+	Events      []core.Event   `json:"events"`
+}
+
+// ChromeTrace accumulates trace_event JSON objects — the format of
+// chrome://tracing and Perfetto. Cycle timestamps are mapped one cycle
+// to one microsecond (the ts/dur unit of the format).
+type ChromeTrace struct {
+	events []chromeEvent
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeTrace returns an empty trace.
+func NewChromeTrace() *ChromeTrace { return &ChromeTrace{} }
+
+// AddProcess adds one simulation's trace as a trace_event process:
+// pid/name identify the simulation (e.g. one figure cell), each thread
+// becomes a trace thread, and each event a complete ("X") slice
+// spanning the cycles it was charged. Zero-cost events still appear,
+// as zero-duration slices.
+func (c *ChromeTrace) AddProcess(pid int, name string, jt *JobTrace) {
+	c.events = append(c.events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+	seen := make(map[int]bool)
+	for _, ev := range jt.Events {
+		if !seen[ev.Thread] {
+			seen[ev.Thread] = true
+			tname := jt.ThreadNames[ev.Thread]
+			if tname == "" {
+				tname = fmt.Sprintf("thread %d", ev.Thread)
+			}
+			c.events = append(c.events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: ev.Thread,
+				Args: map[string]any{"name": tname},
+			})
+		}
+		dur := ev.Cost
+		c.events = append(c.events, chromeEvent{
+			Name: ev.Kind.String(),
+			Ph:   "X",
+			PID:  pid,
+			TID:  ev.Thread,
+			TS:   ev.Cycle - ev.Cost,
+			Dur:  &dur,
+			Args: map[string]any{
+				"moved": ev.Moved,
+				"cwp":   ev.CWP,
+				"wim":   ev.WIM,
+			},
+		})
+	}
+}
+
+// Encode writes the trace as a JSON object with a traceEvents array,
+// the canonical trace_event container.
+func (c *ChromeTrace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     c.events,
+		"displayTimeUnit": "ns",
+	})
+}

@@ -28,6 +28,10 @@ type Client struct {
 	// BaseBackoff is the first retry delay (default 100ms); it doubles
 	// per attempt, jittered over [0, delay).
 	BaseBackoff time.Duration
+	// MaxBackoff caps the un-jittered delay (default 30s). Without a
+	// ceiling the doubling overflows int64 around attempt 33 and a
+	// negative delay panics the jitter draw.
+	MaxBackoff time.Duration
 
 	rng *rand.Rand
 }
@@ -38,6 +42,7 @@ func NewClient(baseURL string) *Client {
 		BaseURL:     baseURL,
 		MaxRetries:  4,
 		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  30 * time.Second,
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
@@ -69,14 +74,27 @@ func retryable(code int) bool {
 	return code == http.StatusInternalServerError
 }
 
-// backoff computes the delay before attempt n (0-based), honoring a
-// Retry-After hint as a lower bound.
+// backoff computes the delay before attempt n (0-based): exponential
+// growth capped at MaxBackoff, full jitter over [0, delay], and the
+// server's Retry-After hint as a lower bound.
 func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	base := c.BaseBackoff
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
-	d := base << uint(attempt)
+	ceiling := c.MaxBackoff
+	if ceiling <= 0 {
+		ceiling = 30 * time.Second
+	}
+	if ceiling < base {
+		ceiling = base
+	}
+	// Decide whether base<<attempt stays under the ceiling without ever
+	// computing an overflowing shift.
+	d := ceiling
+	if attempt < 63 && base <= ceiling>>uint(attempt) {
+		d = base << uint(attempt)
+	}
 	if c.rng != nil {
 		d = time.Duration(c.rng.Int63n(int64(d) + 1)) // full jitter
 	}

@@ -27,6 +27,12 @@ type Metrics struct {
 	shed   uint64
 
 	latency stats.Distribution // microseconds per executed job
+
+	// sim accumulates the window-management counters of every cell this
+	// process actually simulated (cache answers contribute nothing),
+	// keyed by scheme name, for the Prometheus exposition.
+	sim      map[string]*stats.Counters
+	simCells map[string]uint64
 }
 
 func (m *Metrics) setWorkers(n int) {
@@ -74,6 +80,50 @@ func (m *Metrics) panicRecovered() {
 	m.mu.Lock()
 	m.panics++
 	m.mu.Unlock()
+}
+
+// simObserved folds one freshly simulated cell's counters into the
+// per-scheme aggregates.
+func (m *Metrics) simObserved(scheme string, c *stats.Counters) {
+	m.mu.Lock()
+	if m.sim == nil {
+		m.sim = make(map[string]*stats.Counters)
+		m.simCells = make(map[string]uint64)
+	}
+	agg, ok := m.sim[scheme]
+	if !ok {
+		agg = &stats.Counters{}
+		m.sim[scheme] = agg
+	}
+	agg.Add(c)
+	m.simCells[scheme]++
+	m.mu.Unlock()
+}
+
+// SimSnapshot is the point-in-time per-scheme simulation aggregate.
+type SimSnapshot struct {
+	Cells    uint64
+	Counters stats.Counters
+}
+
+// simSnapshot clones the per-scheme aggregates for rendering outside
+// the lock.
+func (m *Metrics) simSnapshot() map[string]SimSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]SimSnapshot, len(m.sim))
+	for scheme, c := range m.sim {
+		out[scheme] = SimSnapshot{Cells: m.simCells[scheme], Counters: c.Clone()}
+	}
+	return out
+}
+
+// latencySnapshot clones the job-latency distribution for rendering
+// outside the lock.
+func (m *Metrics) latencySnapshot() stats.Distribution {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latency.Clone()
 }
 
 // jobShed counts a submission rejected because the queue was full.

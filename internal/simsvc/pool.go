@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cyclicwin/internal/harness"
+	"cyclicwin/internal/stats"
 )
 
 // Status is a job's lifecycle state.
@@ -427,20 +428,41 @@ func (p *Pool) execute(spec JobSpec) (*JobResult, error) {
 	start := time.Now()
 	res := &JobResult{Spec: spec}
 	if spec.Experiment == ExperimentCell {
-		cr, err := runCell(spec)
+		cr, jt, err := runCell(spec)
 		if err != nil {
 			return nil, err
 		}
 		res.Cell = cr
+		res.Trace = jt
+		c := cr.counters()
+		res.Counters = &c
+		p.metrics.simObserved(spec.Scheme, &c)
 	} else {
 		e, ok := LookupExperiment(spec.Experiment)
 		if !ok {
 			return nil, fmt.Errorf("simsvc: unknown experiment %q", spec.Experiment)
 		}
-		res.Output, res.CSV = e.Run(spec.Sizes(), spec.WindowList, p.cachedSerialRunner())
+		agg := &stats.Counters{}
+		res.Output, res.CSV = e.Run(spec.Sizes(), spec.WindowList, p.countingRunner(agg))
+		res.Counters = agg
 	}
 	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
 	return res, nil
+}
+
+// countingRunner is cachedSerialRunner plus an aggregate: every cell's
+// counters — fresh or cache-restored — are folded into agg, so a named
+// experiment's JobResult carries the same totals regardless of cache
+// state.
+func (p *Pool) countingRunner(agg *stats.Counters) harness.Runner {
+	inner := p.cachedSerialRunner()
+	return func(cells []harness.CellSpec) []harness.Result {
+		out := inner(cells)
+		for i := range out {
+			agg.Add(&out[i].Counters)
+		}
+		return out
+	}
 }
 
 // cachedSerialRunner executes sweep cells inline but reads and feeds
@@ -457,6 +479,7 @@ func (p *Pool) cachedSerialRunner() harness.Runner {
 				continue
 			}
 			r := c.Run()
+			p.metrics.simObserved(c.Scheme.String(), &r.Counters)
 			p.cfg.Cache.Put(hash, &JobResult{Spec: spec, Cell: cellResultOf(r)})
 			out[i] = r
 		}
@@ -487,7 +510,9 @@ func (p *Pool) Runner() harness.Runner {
 					continue
 				}
 			}
-			out[i] = cells[i].Run()
+			r := cells[i].Run()
+			p.metrics.simObserved(cells[i].Scheme.String(), &r.Counters)
+			out[i] = r
 		}
 		return out
 	}

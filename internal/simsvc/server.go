@@ -8,16 +8,21 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
+
+	"cyclicwin/internal/obs"
 )
 
 // Server is the HTTP front-end over a Pool, served by cmd/winsimd.
 //
-//	POST /v1/jobs         submit one spec or a batch; ?wait=1 blocks
-//	GET  /v1/jobs/{id}    job status, including the result when done
-//	GET  /v1/experiments  the experiment catalog
-//	GET  /healthz         liveness (503 + status when degraded)
-//	GET  /metrics         pool, cache and latency counters (JSON)
+//	POST /v1/jobs               submit one spec or a batch; ?wait=1 blocks
+//	GET  /v1/jobs/{id}          job status, including the result when done
+//	GET  /v1/jobs/{id}/trace    Chrome trace_event JSON of a traced cell
+//	GET  /v1/experiments        the experiment catalog
+//	GET  /healthz               liveness (503 + status when degraded)
+//	GET  /metrics               Prometheus text exposition; JSON with
+//	                            ?format=json or Accept: application/json
 //
 // Failure classes map to distinct status codes: 429 (queue saturated,
 // with Retry-After), 504 (wait or job timeout), 422 (deterministic
@@ -36,6 +41,7 @@ func NewServer(pool *Pool) *Server {
 	s := &Server{pool: pool, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -201,6 +207,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.pool.Metrics())
+// handleJobTrace serves a traced cell's event ring as Chrome
+// trace_event JSON (load it in chrome://tracing or Perfetto).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.pool.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+		return
+	}
+	res, _ := j.Result()
+	switch st := j.Status(); st {
+	case StatusDone, StatusFailed, StatusCanceled:
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; a trace exists only once the job is terminal", id, st))
+		return
+	}
+	if res == nil || res.Trace == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf(`job %s recorded no trace; submit the cell with "trace": true`, id))
+		return
+	}
+	var ct obs.ChromeTrace
+	ct.AddProcess(1, fmt.Sprintf("%s %s/w%d/%s", id, res.Spec.Scheme, res.Spec.Windows, res.Spec.Behavior), res.Trace)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := ct.Encode(w); err != nil {
+		log.Printf("simsvc: writing trace for %s: %v", id, err)
+	}
+}
+
+// handleMetrics serves Prometheus text exposition by default; the
+// pre-existing JSON snapshot remains available via ?format=json or an
+// Accept: application/json header.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "json" || (format == "" && strings.Contains(r.Header.Get("Accept"), "application/json")) {
+		writeJSON(w, http.StatusOK, s.pool.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if err := s.pool.WritePrometheus(w); err != nil {
+		log.Printf("simsvc: writing /metrics: %v", err)
+	}
 }

@@ -118,7 +118,7 @@ func TestServerSecondSubmissionIsCacheHit(t *testing.T) {
 	}
 
 	var m MetricsSnapshot
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
 	if m.CacheHits != 1 {
 		t.Fatalf("metrics cache_hits = %d, want 1", m.CacheHits)
 	}
@@ -279,7 +279,7 @@ func TestServerNamedExperimentOverHTTP(t *testing.T) {
 func TestServerMetricsUtilizationShape(t *testing.T) {
 	ts, _ := testServer(t)
 	var m MetricsSnapshot
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
 	if m.Workers <= 0 {
 		t.Fatalf("workers = %d", m.Workers)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/harness"
+	"cyclicwin/internal/obs"
 	"cyclicwin/internal/sched"
 	"cyclicwin/internal/stats"
 )
@@ -64,6 +65,13 @@ type JobSpec struct {
 	// (0 = off; cells only). A cell exceeding the budget fails with a
 	// diagnostic wrapping ErrGuestFault instead of running forever.
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
+
+	// Trace records the cell's window-management events into a bounded
+	// ring returned in the job result and served as a Chrome trace on
+	// GET /v1/jobs/{id}/trace (cells only; named experiments ignore
+	// it). The hook only observes: traced and untraced runs produce
+	// identical simulation results.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalize returns the spec with every default spelled canonically:
@@ -95,6 +103,7 @@ func (s JobSpec) Normalize() JobSpec {
 		s.Scheme, s.Windows, s.Policy, s.Behavior = "", 0, "", ""
 		s.SearchAlloc, s.HWAssist, s.TrapTransfer = false, false, 0
 		s.MaxCycles = 0
+		s.Trace = false
 		if len(s.WindowList) == 0 {
 			s.WindowList = append([]int(nil), harness.WindowCounts...)
 		}
@@ -144,9 +153,12 @@ func (s JobSpec) Validate() error {
 func (s JobSpec) Hash() string {
 	n := s.Normalize()
 	h := sha256.New()
-	fmt.Fprintf(h, "simsvc-spec-v2|exp=%s|scheme=%s|windows=%d|policy=%s|behavior=%s|draft=%d|dict=%d|wl=%v|search=%t|hw=%t|tt=%d|mc=%d",
+	// v3: cell results gained the switch-cost distribution and per-job
+	// counters, and Trace joined the spec — the version bump makes
+	// every pre-v3 cache entry unreachable rather than shaped wrong.
+	fmt.Fprintf(h, "simsvc-spec-v3|exp=%s|scheme=%s|windows=%d|policy=%s|behavior=%s|draft=%d|dict=%d|wl=%v|search=%t|hw=%t|tt=%d|mc=%d|trace=%t",
 		n.Experiment, n.Scheme, n.Windows, n.Policy, n.Behavior,
-		n.Draft, n.Dict, n.WindowList, n.SearchAlloc, n.HWAssist, n.TrapTransfer, n.MaxCycles)
+		n.Draft, n.Dict, n.WindowList, n.SearchAlloc, n.HWAssist, n.TrapTransfer, n.MaxCycles, n.Trace)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -189,11 +201,11 @@ func CellSpec(c harness.CellSpec) JobSpec {
 }
 
 // CellResult is the JSON-stable outcome of one simulation cell: the
-// simulated execution time, the scalar event counters, the per-thread
-// suspension counts (paper order T1..T7) and the misspelled-word count
-// used as an output checksum. The exact switch-cost distribution is
-// deliberately not cached — no sweep metric reads it, and omitting it
-// keeps cache entries small and canonical.
+// simulated execution time, the scalar event counters, the exact
+// switch-cost distribution, the per-thread suspension counts (paper
+// order T1..T7) and the misspelled-word count used as an output
+// checksum. The distribution is part of the cached form so that a
+// cache-restored cell aggregates exactly like a fresh one.
 type CellResult struct {
 	Cycles uint64 `json:"cycles"`
 
@@ -208,6 +220,8 @@ type CellResult struct {
 	UnderflowTraps       uint64 `json:"underflow_traps"`
 	TrapSaves            uint64 `json:"trap_saves"`
 	TrapRestores         uint64 `json:"trap_restores"`
+
+	SwitchCost stats.Distribution `json:"switch_cost"`
 
 	ThreadSuspensions [7]uint64 `json:"thread_suspensions"`
 	Misspelled        int       `json:"misspelled"`
@@ -228,37 +242,44 @@ func cellResultOf(r harness.Result) *CellResult {
 		UnderflowTraps:       c.UnderflowTraps,
 		TrapSaves:            c.TrapSaves,
 		TrapRestores:         c.TrapRestores,
+		SwitchCost:           c.SwitchCost.Clone(),
 		ThreadSuspensions:    r.ThreadSuspensions,
 		Misspelled:           r.Misspelled,
 	}
 }
 
-// harnessResult rebuilds the harness view of a cell result (minus the
-// switch-cost distribution, see CellResult) for the given spec.
+// counters reassembles the full stats.Counters of the cell.
+func (cr *CellResult) counters() stats.Counters {
+	return stats.Counters{
+		Switches:             cr.Switches,
+		SwitchSaves:          cr.SwitchSaves,
+		SwitchRestores:       cr.SwitchRestores,
+		SwitchCycles:         cr.SwitchCycles,
+		ZeroTransferSwitches: cr.ZeroTransferSwitches,
+		Saves:                cr.Saves,
+		Restores:             cr.Restores,
+		OverflowTraps:        cr.OverflowTraps,
+		UnderflowTraps:       cr.UnderflowTraps,
+		TrapSaves:            cr.TrapSaves,
+		TrapRestores:         cr.TrapRestores,
+		SwitchCost:           cr.SwitchCost.Clone(),
+	}
+}
+
+// harnessResult rebuilds the harness view of a cell result for the
+// given spec.
 func (cr *CellResult) harnessResult(s JobSpec) harness.Result {
 	s = s.Normalize()
 	scheme, _ := schemeByName(s.Scheme)
 	policy, _ := policyByName(s.Policy)
 	b, _ := harness.BehaviorByName(s.Behavior)
 	return harness.Result{
-		Scheme:   scheme,
-		Windows:  s.Windows,
-		Policy:   policy,
-		Behavior: b,
-		Cycles:   cr.Cycles,
-		Counters: stats.Counters{
-			Switches:             cr.Switches,
-			SwitchSaves:          cr.SwitchSaves,
-			SwitchRestores:       cr.SwitchRestores,
-			SwitchCycles:         cr.SwitchCycles,
-			ZeroTransferSwitches: cr.ZeroTransferSwitches,
-			Saves:                cr.Saves,
-			Restores:             cr.Restores,
-			OverflowTraps:        cr.OverflowTraps,
-			UnderflowTraps:       cr.UnderflowTraps,
-			TrapSaves:            cr.TrapSaves,
-			TrapRestores:         cr.TrapRestores,
-		},
+		Scheme:            scheme,
+		Windows:           s.Windows,
+		Policy:            policy,
+		Behavior:          b,
+		Cycles:            cr.Cycles,
+		Counters:          cr.counters(),
 		ThreadSuspensions: cr.ThreadSuspensions,
 		Misspelled:        cr.Misspelled,
 	}
@@ -266,23 +287,33 @@ func (cr *CellResult) harnessResult(s JobSpec) harness.Result {
 
 // JobResult is the outcome of any job. Cells fill Cell; named
 // experiments fill Output (the rendered table/figure text) and, for
-// figures, CSV (the machine-readable series data).
+// figures, CSV (the machine-readable series data). Counters is the
+// window-management aggregate of the whole job — the cell's own
+// counters, or the sum over every cell of a named experiment.
 type JobResult struct {
 	Spec      JobSpec     `json:"spec"`
 	Cell      *CellResult `json:"cell,omitempty"`
 	Output    string      `json:"output,omitempty"`
 	CSV       string      `json:"csv,omitempty"`
 	ElapsedMS float64     `json:"elapsed_ms"`
+	// Counters aggregates the window-management event counts across
+	// every simulation the job ran (cache-restored cells included).
+	Counters *stats.Counters `json:"counters,omitempty"`
+	// Trace holds the recorded event ring of a cell submitted with
+	// "trace": true; GET /v1/jobs/{id}/trace renders it as a Chrome
+	// trace.
+	Trace *obs.JobTrace `json:"trace,omitempty"`
 	// PanicStack is the recovered goroutine stack of a job that
 	// panicked mid-simulation (failed jobs only).
 	PanicStack string `json:"panic_stack,omitempty"`
 }
 
-// runCell executes one simulation cell in the calling goroutine.
-func runCell(s JobSpec) (*CellResult, error) {
+// runCell executes one simulation cell in the calling goroutine,
+// recording its event trace when the spec asks for one.
+func runCell(s JobSpec) (*CellResult, *obs.JobTrace, error) {
 	s = s.Normalize()
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	scheme, _ := schemeByName(s.Scheme)
 	policy, _ := policyByName(s.Policy)
@@ -293,14 +324,29 @@ func runCell(s JobSpec) (*CellResult, error) {
 		HWAssist:     s.HWAssist,
 		TrapTransfer: s.TrapTransfer,
 	}
-	r, err := harness.RunSpellWith(harness.SpellOpts{
+	opts := harness.SpellOpts{
 		Config: cfg, Scheme: scheme, Policy: policy, Behavior: b, Sizes: s.Sizes(),
 		MaxCycles: s.MaxCycles,
-	})
+	}
+	var tr *obs.Tracer
+	if s.Trace {
+		tr = obs.NewTracer(0)
+		opts.OnManager = func(m core.Manager) { tr.Attach(m) }
+		opts.OnKernel = func(k *sched.Kernel) {
+			for _, t := range k.Threads() {
+				tr.SetThreadName(t.Core.ID, t.Name())
+			}
+		}
+	}
+	r, err := harness.RunSpellWith(opts)
 	if err != nil {
 		// Deterministic guest-side failure: typed fault, deadlock or
 		// budget exhaustion. Retrying the spec cannot help.
-		return nil, fmt.Errorf("%w: %w", ErrGuestFault, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrGuestFault, err)
 	}
-	return cellResultOf(r), nil
+	var jt *obs.JobTrace
+	if tr != nil {
+		jt = tr.Snapshot()
+	}
+	return cellResultOf(r), jt, nil
 }

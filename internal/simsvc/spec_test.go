@@ -130,7 +130,7 @@ func TestCellRoundTrip(t *testing.T) {
 		t.Fatalf("converted cell does not validate: %v", err)
 	}
 	want := cell.Run()
-	cr, err := runCell(spec)
+	cr, _, err := runCell(spec)
 	if err != nil {
 		t.Fatalf("runCell: %v", err)
 	}

@@ -1,6 +1,10 @@
 package stats
 
-import "sort"
+import (
+	"encoding/json"
+	"math"
+	"sort"
+)
 
 // Distribution records an exact histogram of small-integer observations
 // (context-switch costs take only a handful of distinct values), so
@@ -67,9 +71,14 @@ func (d *Distribution) Quantile(q float64) uint64 {
 		values = append(values, v)
 	}
 	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
-	need := uint64(q * float64(d.n))
-	if need == 0 {
+	// "At least q of the samples" needs ceil(q*n) samples: with 3
+	// samples, Quantile(0.5) must cover 2 of them, not the truncated 1.
+	need := uint64(math.Ceil(q * float64(d.n)))
+	if need < 1 {
 		need = 1
+	}
+	if need > d.n {
+		need = d.n
 	}
 	var seen uint64
 	for _, v := range values {
@@ -93,6 +102,71 @@ func (d *Distribution) Values() (values []uint64, counts []uint64) {
 		counts[i] = d.counts[v]
 	}
 	return values, counts
+}
+
+// Merge adds every sample of o into d.
+func (d *Distribution) Merge(o *Distribution) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if d.counts == nil {
+		d.counts = make(map[uint64]uint64, len(o.counts))
+	}
+	for v, c := range o.counts {
+		d.counts[v] += c
+	}
+	d.n += o.n
+	d.sum += o.sum
+}
+
+// Clone returns an independent copy of d.
+func (d *Distribution) Clone() Distribution {
+	out := Distribution{n: d.n, sum: d.sum}
+	if d.counts != nil {
+		out.counts = make(map[uint64]uint64, len(d.counts))
+		for v, c := range d.counts {
+			out.counts[v] = c
+		}
+	}
+	return out
+}
+
+// distributionJSON is the wire form of a Distribution: the distinct
+// observations in ascending order with their counts, so equal
+// distributions always serialise to identical bytes.
+type distributionJSON struct {
+	Values []uint64 `json:"values,omitempty"`
+	Counts []uint64 `json:"counts,omitempty"`
+}
+
+// MarshalJSON serialises the histogram as sorted value/count arrays.
+// Without it a Distribution (all fields unexported) would encode as {}
+// and per-job counters would silently lose the switch-cost histogram.
+func (d Distribution) MarshalJSON() ([]byte, error) {
+	values, counts := d.Values()
+	return json.Marshal(distributionJSON{Values: values, Counts: counts})
+}
+
+// UnmarshalJSON rebuilds the histogram from its wire form.
+func (d *Distribution) UnmarshalJSON(data []byte) error {
+	var w distributionJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*d = Distribution{}
+	for i, v := range w.Values {
+		if i >= len(w.Counts) || w.Counts[i] == 0 {
+			continue
+		}
+		if d.counts == nil {
+			d.counts = make(map[uint64]uint64, len(w.Values))
+		}
+		c := w.Counts[i]
+		d.counts[v] += c
+		d.n += c
+		d.sum += v * c
+	}
+	return nil
 }
 
 // Burst describes one scheduling burst of a thread: the range of stack

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestQuantileCeiling pins the "at least q of the samples are <= v"
+// contract over every sample count 1..5: Quantile must require
+// ceil(q*n) samples, not the truncated q*n (the old bug made
+// Quantile(0.5) over 3 samples return the 1st sample, not the 2nd).
+func TestQuantileCeiling(t *testing.T) {
+	qs := []float64{0, 0.5, 0.9, 0.99, 1}
+	// Samples are 10,20,...,10*n so the expected answer is simply
+	// 10*ceil(q*n) (clamped to at least the first sample).
+	for n := 1; n <= 5; n++ {
+		var d Distribution
+		for i := 1; i <= n; i++ {
+			d.Observe(uint64(10 * i))
+		}
+		for _, q := range qs {
+			need := int(q * float64(n)) // truncated
+			if float64(need) < q*float64(n) {
+				need++ // ceiling
+			}
+			if need < 1 {
+				need = 1
+			}
+			if need > n {
+				need = n
+			}
+			want := uint64(10 * need)
+			if got := d.Quantile(q); got != want {
+				t.Errorf("n=%d Quantile(%g) = %d, want %d", n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileCeilingExplicit spot-checks the motivating case without
+// re-deriving the expectation arithmetically.
+func TestQuantileCeilingExplicit(t *testing.T) {
+	var d Distribution
+	d.Observe(1)
+	d.Observe(2)
+	d.Observe(3)
+	// Half of 3 samples is 1.5, so two samples must be <= the median.
+	if got := d.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) over {1,2,3} = %d, want 2", got)
+	}
+	if got := d.Quantile(0.99); got != 3 {
+		t.Fatalf("Quantile(0.99) over {1,2,3} = %d, want 3", got)
+	}
+}
+
+func TestDistributionMergeClone(t *testing.T) {
+	var a, b Distribution
+	a.Observe(5)
+	a.Observe(5)
+	b.Observe(5)
+	b.Observe(7)
+
+	c := a.Clone()
+	c.Merge(&b)
+	if c.N() != 4 || c.Max() != 7 || c.Mean() != 5.5 {
+		t.Fatalf("merge: n=%d max=%d mean=%g, want 4/7/5.5", c.N(), c.Max(), c.Mean())
+	}
+	// The clone must not share state with the original.
+	if a.N() != 2 || a.Max() != 5 {
+		t.Fatalf("clone aliased the original: n=%d max=%d", a.N(), a.Max())
+	}
+	c.Merge(nil) // no-op
+	if c.N() != 4 {
+		t.Fatalf("Merge(nil) changed n to %d", c.N())
+	}
+}
+
+func TestDistributionJSONRoundTrip(t *testing.T) {
+	var d Distribution
+	for _, v := range []uint64{3, 1, 3, 99, 3} {
+		d.Observe(v)
+	}
+	blob, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"values":[1,3,99],"counts":[1,3,1]}`
+	if string(blob) != want {
+		t.Fatalf("marshal = %s, want %s", blob, want)
+	}
+	var back Distribution
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.N() || back.Mean() != d.Mean() || back.Max() != d.Max() {
+		t.Fatalf("round trip lost samples: n=%d mean=%g max=%d", back.N(), back.Mean(), back.Max())
+	}
+	// The empty distribution round-trips too.
+	blob, err = json.Marshal(Distribution{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty Distribution
+	if err := json.Unmarshal(blob, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.N() != 0 {
+		t.Fatalf("empty round trip has %d samples", empty.N())
+	}
+}
+
+func TestCountersAddClone(t *testing.T) {
+	a := Counters{Switches: 2, Saves: 10, OverflowTraps: 1}
+	a.SwitchCost.Observe(100)
+	b := Counters{Switches: 3, Restores: 4, UnderflowTraps: 2}
+	b.SwitchCost.Observe(50)
+	b.SwitchCost.Observe(100)
+
+	c := a.Clone()
+	c.Add(&b)
+	want := Counters{Switches: 5, Saves: 10, Restores: 4, OverflowTraps: 1, UnderflowTraps: 2}
+	want.SwitchCost.Observe(100)
+	want.SwitchCost.Observe(50)
+	want.SwitchCost.Observe(100)
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("Add: got %+v, want %+v", c, want)
+	}
+	if a.Switches != 2 || a.SwitchCost.N() != 1 {
+		t.Fatalf("clone aliased the original: %+v", a)
+	}
+	c.Add(nil)
+	if c.Switches != 5 {
+		t.Fatalf("Add(nil) changed counters")
+	}
+}

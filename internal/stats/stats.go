@@ -39,6 +39,35 @@ type Counters struct {
 	SwitchCost Distribution
 }
 
+// Add accumulates o into c: scalar counters are summed and the
+// switch-cost histograms merged, so per-cell counters aggregate into
+// per-experiment (or fleet-wide) totals.
+func (c *Counters) Add(o *Counters) {
+	if o == nil {
+		return
+	}
+	c.Switches += o.Switches
+	c.SwitchSaves += o.SwitchSaves
+	c.SwitchRestores += o.SwitchRestores
+	c.SwitchCycles += o.SwitchCycles
+	c.ZeroTransferSwitches += o.ZeroTransferSwitches
+	c.Saves += o.Saves
+	c.Restores += o.Restores
+	c.OverflowTraps += o.OverflowTraps
+	c.UnderflowTraps += o.UnderflowTraps
+	c.TrapSaves += o.TrapSaves
+	c.TrapRestores += o.TrapRestores
+	c.SwitchCost.Merge(&o.SwitchCost)
+}
+
+// Clone returns an independent copy of c (the SwitchCost histogram's
+// backing map is not shared).
+func (c *Counters) Clone() Counters {
+	out := *c
+	out.SwitchCost = c.SwitchCost.Clone()
+	return out
+}
+
 // TrapProbability returns (overflow+underflow traps) divided by the
 // number of executed save and restore instructions, as plotted in
 // Figure 13. It returns 0 when no window instructions ran.

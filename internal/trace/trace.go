@@ -1,8 +1,13 @@
 // Package trace records window-management events for debugging and
 // exposition: every context switch, save, restore, trap and exit, with
 // a snapshot of the window file (CWP and WIM) after each event. The
-// tracer is a decorator around any core.Manager, so the schemes need no
-// instrumentation; traps are inferred from counter deltas.
+// tracer is a decorator around any core.Manager. When the wrapped
+// manager reports events itself (core.EventSource — the NS, SNP and SP
+// schemes), the decorator is a renderer over that stream; otherwise
+// (the Reference oracle) traps are inferred from counter deltas around
+// each call, which produces the same events. Wrapping a manager claims
+// its event hook; install an obs.Tracer either here or directly, not
+// both.
 package trace
 
 import (
@@ -65,10 +70,11 @@ type Event struct {
 // Manager wraps a core.Manager, recording events into a bounded ring.
 type Manager struct {
 	core.Manager
-	ring  []Event
-	next  uint64 // total events ever recorded
-	limit int
-	file  *regwin.File
+	ring   []Event
+	next   uint64 // total events ever recorded
+	limit  int
+	file   *regwin.File
+	hooked bool // events arrive from the core hook, not from deltas
 }
 
 // New wraps m, keeping the most recent limit events (1024 if limit<=0).
@@ -80,13 +86,32 @@ func New(m core.Manager, limit int) *Manager {
 	if f, ok := m.(interface{ File() *regwin.File }); ok {
 		t.file = f.File()
 	}
+	if src, ok := m.(core.EventSource); ok {
+		src.SetEventHook(t.fromCore)
+		t.hooked = true
+	}
 	return t
 }
 
+// fromCore renders one core event into the ring. Kind values share the
+// core's order, so the classification carries over directly.
+func (t *Manager) fromCore(ev core.Event) {
+	t.append(Event{
+		Cycle:  ev.Cycle,
+		Kind:   Kind(ev.Kind),
+		Thread: ev.Thread,
+		Cost:   ev.Cost,
+		Moved:  ev.Moved,
+		CWP:    ev.CWP,
+		WIM:    ev.WIM,
+	})
+}
+
+// record reconstructs one event from counter deltas, for managers that
+// report no events themselves.
 func (t *Manager) record(kind Kind, thread int, before stats.Counters, beforeCycles uint64) {
 	c := t.Manager.Counters()
 	ev := Event{
-		Seq:    t.next,
 		Cycle:  t.Manager.Cycles().Total(),
 		Kind:   kind,
 		Thread: thread,
@@ -104,6 +129,11 @@ func (t *Manager) record(kind Kind, thread int, before stats.Counters, beforeCyc
 		ev.CWP = t.file.CWP()
 		ev.WIM = t.file.WIM()
 	}
+	t.append(ev)
+}
+
+func (t *Manager) append(ev Event) {
+	ev.Seq = t.next
 	t.next++
 	if len(t.ring) < t.limit {
 		t.ring = append(t.ring, ev)
@@ -118,6 +148,10 @@ func (t *Manager) snapshot() (stats.Counters, uint64) {
 
 // Switch records and delegates.
 func (t *Manager) Switch(th *core.Thread) {
+	if t.hooked {
+		t.Manager.Switch(th)
+		return
+	}
 	c, cy := t.snapshot()
 	t.Manager.Switch(th)
 	t.record(KindSwitch, th.ID, c, cy)
@@ -125,6 +159,10 @@ func (t *Manager) Switch(th *core.Thread) {
 
 // SwitchFlush records and delegates.
 func (t *Manager) SwitchFlush(th *core.Thread) {
+	if t.hooked {
+		t.Manager.SwitchFlush(th)
+		return
+	}
 	c, cy := t.snapshot()
 	t.Manager.SwitchFlush(th)
 	t.record(KindSwitchFlush, th.ID, c, cy)
@@ -132,6 +170,10 @@ func (t *Manager) SwitchFlush(th *core.Thread) {
 
 // Save records and delegates.
 func (t *Manager) Save() {
+	if t.hooked {
+		t.Manager.Save()
+		return
+	}
 	c, cy := t.snapshot()
 	id := t.Manager.Running().ID
 	t.Manager.Save()
@@ -140,6 +182,10 @@ func (t *Manager) Save() {
 
 // Restore records and delegates.
 func (t *Manager) Restore() {
+	if t.hooked {
+		t.Manager.Restore()
+		return
+	}
 	c, cy := t.snapshot()
 	id := t.Manager.Running().ID
 	t.Manager.Restore()
@@ -148,6 +194,10 @@ func (t *Manager) Restore() {
 
 // Exit records and delegates.
 func (t *Manager) Exit() {
+	if t.hooked {
+		t.Manager.Exit()
+		return
+	}
 	c, cy := t.snapshot()
 	id := t.Manager.Running().ID
 	t.Manager.Exit()
