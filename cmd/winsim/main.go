@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cyclicwin/internal/check"
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/fault"
 	"cyclicwin/internal/harness"
@@ -49,7 +50,16 @@ func main() {
 	maxCycles := flag.Uint64("maxcycles", 0, "per-simulation cycle budget; a cell exceeding it aborts with a diagnostic (0 = off)")
 	faultSeed := flag.Int64("faultseed", 0, "arm the chaos injector with this seed: benign perturbations fire throughout every cell (0 = off)")
 	traceOut := flag.String("trace", "", "record every cell's window events and write a Chrome trace_event JSON file (forces the serial runner)")
+	checkRun := flag.Bool("check", false, "run the differential model checker instead of an experiment: all schemes vs the Reference oracle over small configurations")
+	checkDepth := flag.Int("checkdepth", 4, "with -check: exhaustive action-sequence length per configuration (0 skips the exhaustive pass)")
+	checkRuns := flag.Int("checkruns", 8, "with -check: seeded random sequences per configuration variant")
+	checkLen := flag.Int("checklen", 400, "with -check: length of each random sequence")
+	checkSeed := flag.Uint64("checkseed", 1, "with -check: base seed for the random sequences")
 	flag.Parse()
+
+	if *checkRun {
+		os.Exit(runCheck(*checkDepth, *checkRuns, *checkLen, *checkSeed))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -176,6 +186,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
 	}
+}
+
+// runCheck runs the differential model checker over its windows 3..8 ×
+// threads 1..4 grid with the runtime invariant audit armed: every
+// scheme is compared against the Reference oracle after every action,
+// exhaustively at -checkdepth and with -checkruns seeded random soaks
+// per configuration variant. The first divergence prints a minimized
+// reproduction and exits 1.
+func runCheck(depth, runs, length int, seed uint64) int {
+	core.SetInvariantChecks(true)
+	cfg := check.DefaultGrid()
+	cfg.ExhaustiveLen = depth
+	cfg.RandomRuns = runs
+	cfg.RandomLen = length
+	cfg.Seed = seed
+	cfg.Log = func(format string, args ...interface{}) {
+		fmt.Printf(format+"\n", args...)
+	}
+	if err := check.RunGrid(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "winsim: DIVERGENCE FOUND\n%v\n", err)
+		return 1
+	}
+	fmt.Println("winsim: all schemes agree with the Reference oracle; no invariant violations")
+	return 0
 }
 
 // serialRunner executes cells serially under any combination of the

@@ -1,0 +1,409 @@
+// Package check is the differential model checker and invariant-audit
+// layer for the window-management schemes. It drives identical bounded
+// action sequences — context switches, saves, restores, register
+// writes, thread exits — through the NS, SNP and SP schemes and the
+// infinite-window Reference oracle simultaneously, and after every
+// single step it
+//
+//   - runs each scheme's full structural invariant set (core.Verifier),
+//   - compares every visible register of the running thread against the
+//     oracle,
+//   - compares the global registers,
+//   - compares every live resident window of every thread, frame by
+//     frame, against the oracle's frame stack (so a suspended thread's
+//     windows being silently clobbered is caught at the step that
+//     clobbers them, not when the thread resumes), and
+//   - checks each thread's call depth and resident/spilled frame split.
+//
+// Sequences come from three generators: exhaustive enumeration of every
+// sequence over a small action alphabet (Exhaustive), a deterministic
+// seeded driver for long sequences (RandomActions), and the
+// FuzzSchemeDifferential fuzz target. Any failing sequence can be
+// shrunk with Minimize to a minimal reproduction.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/regwin"
+)
+
+// Op is one action kind of the model.
+type Op uint8
+
+const (
+	// OpSave executes a save instruction (procedure entry) on the
+	// current thread, then deterministically writes its fresh out and
+	// local registers (real procedures define their registers before
+	// reading them; the oracle zero-fills, hardware leaves stale data).
+	OpSave Op = iota
+	// OpRestore executes a restore (procedure return); at depth 0 it is
+	// normalised to OpSave (returning past the outermost frame is a
+	// modelled guest bug, not a scheme behaviour).
+	OpRestore
+	// OpWrite writes a deterministic value to one register (1..31) of
+	// the current window.
+	OpWrite
+	// OpExit terminates the current thread and respawns a fresh thread
+	// in its slot, so later actions naming the slot stay legal.
+	OpExit
+	// OpSwitch context-switches to the action's thread slot.
+	OpSwitch
+	// OpSwitchFlush is the Section 4.4 flushing switch to the slot.
+	OpSwitchFlush
+
+	numOps
+)
+
+// Action is one step of a checked sequence.
+type Action struct {
+	Op     Op
+	Thread int // target slot for OpSwitch/OpSwitchFlush (mod Threads)
+	Reg    int // register for OpWrite (normalised to 1..31)
+	Val    uint32
+}
+
+// String renders the action compactly ("save", "switch(2)", ...).
+func (a Action) String() string {
+	switch a.Op {
+	case OpSave:
+		return "save"
+	case OpRestore:
+		return "restore"
+	case OpWrite:
+		return fmt.Sprintf("write(r%d,%#x)", a.Reg, a.Val)
+	case OpExit:
+		return "exit"
+	case OpSwitch:
+		return fmt.Sprintf("switch(%d)", a.Thread)
+	case OpSwitchFlush:
+		return fmt.Sprintf("switch*(%d)", a.Thread)
+	}
+	return fmt.Sprintf("Op(%d)", int(a.Op))
+}
+
+// Options selects the configuration under test. Schemes defaults to all
+// three; SearchAlloc and TrapTransfer exercise the Section 4.2
+// alternative allocator and the Tamir/Sequin transfer-depth policy
+// space (the oracle ignores both, so state parity must hold anyway).
+type Options struct {
+	Windows      int
+	Threads      int
+	Schemes      []core.Scheme
+	SearchAlloc  bool
+	TrapTransfer int
+	HWAssist     bool
+}
+
+func (o Options) String() string {
+	s := fmt.Sprintf("windows=%d threads=%d", o.Windows, o.Threads)
+	if o.SearchAlloc {
+		s += " searchalloc"
+	}
+	if o.TrapTransfer > 1 {
+		s += fmt.Sprintf(" transfer=%d", o.TrapTransfer)
+	}
+	if o.HWAssist {
+		s += " hwassist"
+	}
+	return s
+}
+
+func (o Options) schemes() []core.Scheme {
+	if len(o.Schemes) > 0 {
+		return o.Schemes
+	}
+	return core.Schemes
+}
+
+// maxDepth bounds call depth so a runaway sequence cannot overflow a
+// thread's 64 KiB memory save area (1024 frames); a save at the bound
+// is normalised to a restore.
+const maxDepth = 900
+
+// Divergence describes a failed check: the configuration, the
+// normalised action sequence, the step that failed, and what differed.
+type Divergence struct {
+	Opts   Options
+	Acts   []Action // normalised actions actually executed
+	Step   int      // index into Acts of the failing step
+	Scheme core.Scheme
+	Detail string
+	State  string // scheme snapshot at failure, when available
+}
+
+// Error renders the divergence with its reproduction recipe.
+func (d *Divergence) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %v diverged at step %d/%d (%s): %s",
+		d.Scheme, d.Step+1, len(d.Acts), d.Opts, d.Detail)
+	if d.State != "" {
+		fmt.Fprintf(&b, "\n  state: %s", d.State)
+	}
+	fmt.Fprintf(&b, "\n  sequence:")
+	for i, a := range d.Acts {
+		mark := " "
+		if i == d.Step {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "\n  %s %3d: %v", mark, i, a)
+	}
+	return b.String()
+}
+
+// schemeState is the manager-side view the checker needs beyond the
+// core.Manager interface; all three schemes implement it.
+type schemeState interface {
+	core.Manager
+	core.Verifier
+	core.Snapshotter
+	File() *regwin.File
+	LiveSlots(*core.Thread) []int
+}
+
+// runner drives one sequence through the oracle and every scheme.
+type runner struct {
+	opts    Options
+	ref     *core.Reference
+	mgrs    []schemeState
+	refThr  []*core.Thread   // oracle thread per slot
+	thr     [][]*core.Thread // [scheme][slot]
+	depth   []int            // model call depth per slot
+	cur     int              // current slot, -1 when none running
+	nextID  int
+	step    int
+	acts    []Action // normalised actions executed so far
+	fillSeq uint32   // deterministic register-fill counter
+}
+
+func newRunner(opts Options) *runner {
+	r := &runner{opts: opts, cur: -1}
+	cfg := core.Config{
+		Windows:      opts.Windows,
+		SearchAlloc:  opts.SearchAlloc,
+		TrapTransfer: opts.TrapTransfer,
+		HWAssist:     opts.HWAssist,
+	}
+	r.ref = core.NewReference(cfg)
+	for _, s := range opts.schemes() {
+		r.mgrs = append(r.mgrs, core.New(s, cfg).(schemeState))
+	}
+	r.thr = make([][]*core.Thread, len(r.mgrs))
+	for slot := 0; slot < opts.Threads; slot++ {
+		r.spawn(slot)
+	}
+	return r
+}
+
+// spawn (re)creates the thread in the given slot on every manager.
+func (r *runner) spawn(slot int) {
+	id := r.nextID
+	r.nextID++
+	name := fmt.Sprintf("t%d", slot)
+	for slot >= len(r.refThr) {
+		r.refThr = append(r.refThr, nil)
+		r.depth = append(r.depth, 0)
+		for i := range r.thr {
+			r.thr[i] = append(r.thr[i], nil)
+		}
+	}
+	r.refThr[slot] = r.ref.NewThread(id, name)
+	for i, m := range r.mgrs {
+		r.thr[i][slot] = m.NewThread(id, name)
+	}
+	r.depth[slot] = 0
+}
+
+// fill deterministically defines the out and local registers of a
+// freshly saved window on every manager, exactly as a real procedure
+// prologue would before reading them.
+func (r *runner) fill() {
+	for reg := regwin.RegO0; reg < regwin.RegL0+regwin.NPart; reg++ {
+		r.fillSeq++
+		v := r.fillSeq*2654435761 + uint32(reg)
+		r.ref.SetReg(reg, v)
+		for _, m := range r.mgrs {
+			m.SetReg(reg, v)
+		}
+	}
+}
+
+// normalise rewrites a into the legal action actually executed, per the
+// rules documented on the Op constants.
+func (r *runner) normalise(a Action) Action {
+	if r.opts.Threads > 0 {
+		a.Thread = ((a.Thread % r.opts.Threads) + r.opts.Threads) % r.opts.Threads
+	}
+	if r.cur < 0 && a.Op != OpSwitch && a.Op != OpSwitchFlush {
+		return Action{Op: OpSwitch, Thread: a.Thread}
+	}
+	switch a.Op {
+	case OpRestore:
+		if r.depth[r.cur] == 0 {
+			return Action{Op: OpSave}
+		}
+	case OpSave:
+		if r.depth[r.cur] >= maxDepth {
+			return Action{Op: OpRestore}
+		}
+	case OpWrite:
+		a.Reg = 1 + ((a.Reg%31)+31)%31
+	}
+	return a
+}
+
+// apply executes one normalised action on the oracle and every scheme.
+func (r *runner) apply(a Action) {
+	switch a.Op {
+	case OpSave:
+		r.ref.Save()
+		for _, m := range r.mgrs {
+			m.Save()
+		}
+		r.depth[r.cur]++
+		r.fill()
+	case OpRestore:
+		r.ref.Restore()
+		for _, m := range r.mgrs {
+			m.Restore()
+		}
+		r.depth[r.cur]--
+	case OpWrite:
+		r.ref.SetReg(a.Reg, a.Val)
+		for _, m := range r.mgrs {
+			m.SetReg(a.Reg, a.Val)
+		}
+	case OpExit:
+		slot := r.cur
+		r.ref.Exit()
+		for _, m := range r.mgrs {
+			m.Exit()
+		}
+		r.cur = -1
+		r.spawn(slot)
+	case OpSwitch:
+		r.ref.Switch(r.refThr[a.Thread])
+		for i, m := range r.mgrs {
+			m.Switch(r.thr[i][a.Thread])
+		}
+		r.cur = a.Thread
+	case OpSwitchFlush:
+		r.ref.SwitchFlush(r.refThr[a.Thread])
+		for i, m := range r.mgrs {
+			m.SwitchFlush(r.thr[i][a.Thread])
+		}
+		r.cur = a.Thread
+	}
+}
+
+// fail builds the divergence for the current step.
+func (r *runner) fail(m schemeState, format string, args ...interface{}) *Divergence {
+	d := &Divergence{
+		Opts:   r.opts,
+		Acts:   append([]Action(nil), r.acts...),
+		Step:   r.step,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	if m != nil {
+		d.Scheme = m.Scheme()
+		d.State = m.Snapshot().String()
+	}
+	return d
+}
+
+// compare audits every scheme against its invariants and the oracle.
+func (r *runner) compare() *Divergence {
+	for i, m := range r.mgrs {
+		if err := m.Verify(); err != nil {
+			return r.fail(m, "invariant violation: %v", err)
+		}
+
+		// Global registers are shared architectural state in both
+		// models and comparable even with no thread running.
+		f := m.File()
+		refGlobals := r.ref.Globals()
+		for g := 1; g < regwin.NGlobals; g++ {
+			if got, want := f.RegW(0, g), refGlobals[g]; got != want {
+				return r.fail(m, "global %%g%d = %#x, oracle has %#x", g, got, want)
+			}
+		}
+
+		// Every register of the running thread's current window.
+		if r.cur >= 0 {
+			for reg := 1; reg < 32; reg++ {
+				want, got := r.ref.Reg(reg), m.Reg(reg)
+				if want != got {
+					return r.fail(m, "running thread %d register r%d = %#x, oracle has %#x (depth %d)",
+						r.cur, reg, got, want, r.depth[r.cur])
+				}
+			}
+		}
+
+		// Deep state: every thread's resident live windows must hold
+		// exactly the oracle's frames for the corresponding depths —
+		// the paper's invariant that a thread's resident windows are
+		// the contiguous top fraction of its frame stack.
+		for slot := 0; slot < r.opts.Threads; slot++ {
+			t := r.thr[i][slot]
+			if got, want := t.Depth(), r.refThr[slot].Depth(); got != want {
+				return r.fail(m, "thread %d depth = %d, oracle has %d", slot, got, want)
+			}
+			live := m.LiveSlots(t)
+			if t.SavedWindows()+len(live) != t.Depth()+1 && (len(live) > 0 || t.SavedWindows() > 0) {
+				return r.fail(m, "thread %d frame split broken: %d saved + %d resident != depth %d + 1",
+					slot, t.SavedWindows(), len(live), t.Depth())
+			}
+			for j, w := range live {
+				frameDepth := t.Depth() - len(live) + 1 + j
+				wantIns, wantLocals, ok := r.ref.FrameWindow(r.refThr[slot], frameDepth)
+				if !ok {
+					return r.fail(m, "thread %d resident slot %d maps to missing oracle frame %d",
+						slot, w, frameDepth)
+				}
+				for p := 0; p < regwin.NPart; p++ {
+					if got := f.Ins(w)[p]; got != wantIns[p] {
+						return r.fail(m, "thread %d frame %d (slot %d) in[%d] = %#x, oracle has %#x",
+							slot, frameDepth, w, p, got, wantIns[p])
+					}
+					if got := f.Locals(w)[p]; got != wantLocals[p] {
+						return r.fail(m, "thread %d frame %d (slot %d) local[%d] = %#x, oracle has %#x",
+							slot, frameDepth, w, p, got, wantLocals[p])
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunSequence drives acts through every configured scheme and the
+// oracle, checking after every step. It returns nil when the whole
+// sequence stays divergence-free, or the first *Divergence (scheme
+// panics — internal assertions, invariant-audit trips — are converted
+// into divergences too, so a found bug never kills the caller).
+func RunSequence(opts Options, acts []Action) (err error) {
+	if opts.Windows < regwin.MinWindows || opts.Windows > regwin.MaxWindows {
+		return fmt.Errorf("check: window count %d outside [%d,%d]", opts.Windows, regwin.MinWindows, regwin.MaxWindows)
+	}
+	if opts.Threads < 1 {
+		return fmt.Errorf("check: thread count %d must be positive", opts.Threads)
+	}
+	r := newRunner(opts)
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = r.fail(nil, "panic: %v", rec)
+		}
+	}()
+	for _, raw := range acts {
+		a := r.normalise(raw)
+		r.acts = append(r.acts, a)
+		r.apply(a)
+		if d := r.compare(); d != nil {
+			return d
+		}
+		r.step++
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package check
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"cyclicwin/internal/core"
+)
+
+// TestMain arms the runtime invariant audit so every sequence the
+// checker drives is double-checked by the schemes' own assertions.
+func TestMain(m *testing.M) {
+	core.SetInvariantChecks(true)
+	os.Exit(m.Run())
+}
+
+// TestExhaustiveSmall enumerates every sequence at the corners of the
+// grid: the minimum window count with maximum threads (a saturated
+// file) and a mid-size file with a single thread.
+func TestExhaustiveSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration in -short mode")
+	}
+	for _, tc := range []struct {
+		windows, threads, length int
+	}{
+		{3, 1, 5},
+		{3, 4, 4},
+		{4, 2, 4},
+		{6, 3, 3},
+	} {
+		opts := Options{Windows: tc.windows, Threads: tc.threads}
+		n, err := Exhaustive(opts, tc.length)
+		if err != nil {
+			t.Fatalf("%s length %d: %v", opts, tc.length, err)
+		}
+		t.Logf("%s: %d sequences of length %d", opts, n, tc.length)
+	}
+}
+
+// TestRandomSoak runs longer seeded sequences over the full grid,
+// including the SearchAlloc / TrapTransfer / HWAssist variants the
+// exhaustive pass fixes.
+func TestRandomSoak(t *testing.T) {
+	cfg := DefaultGrid()
+	cfg.ExhaustiveLen = 0 // covered by TestExhaustiveSmall
+	if testing.Short() {
+		cfg.RandomRuns = 2
+		cfg.RandomLen = 120
+	}
+	if err := RunGrid(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeepRecursionWrap drives one thread far past every window count so
+// the WIM and the thread region wrap the file repeatedly, then unwinds
+// through the in-place underflow path to depth zero.
+func TestDeepRecursionWrap(t *testing.T) {
+	for w := 3; w <= 8; w++ {
+		var acts []Action
+		for i := 0; i < 3*w+2; i++ {
+			acts = append(acts, Action{Op: OpSave})
+		}
+		for i := 0; i < 3*w+2; i++ {
+			acts = append(acts, Action{Op: OpRestore})
+		}
+		if err := RunSequence(Options{Windows: w, Threads: 1}, acts); err != nil {
+			t.Fatalf("windows=%d: %v", w, err)
+		}
+	}
+}
+
+// TestNormalisation pins the driver's normalisation rules so fuzz
+// corpora stay reproducible: ops with no running thread become
+// switches, restore at depth zero becomes save, registers fold to
+// 1..31.
+func TestNormalisation(t *testing.T) {
+	r := newRunner(Options{Windows: 4, Threads: 2})
+	if got := r.normalise(Action{Op: OpSave}); got.Op != OpSwitch {
+		t.Errorf("save with no running thread → %v, want switch", got)
+	}
+	r.apply(Action{Op: OpSwitch, Thread: 1})
+	r.cur = 1
+	if got := r.normalise(Action{Op: OpRestore}); got.Op != OpSave {
+		t.Errorf("restore at depth 0 → %v, want save", got)
+	}
+	if got := r.normalise(Action{Op: OpWrite, Reg: -5}); got.Reg < 1 || got.Reg > 31 {
+		t.Errorf("write reg -5 normalised to %d, want 1..31", got.Reg)
+	}
+	if got := r.normalise(Action{Op: OpSwitch, Thread: 7}); got.Thread != 1 {
+		t.Errorf("switch(7) with 2 threads normalised to %d, want 1", got.Thread)
+	}
+}
+
+// TestMinimizeShrinks checks the delta debugger on a synthetic failure:
+// a sequence that trips a divergence injected through an impossible
+// option (window count below the legal floor is rejected up front, so
+// use a wrapper predicate via RunSequence on a real config but a
+// deliberately corrupted expectation is not constructible — instead
+// verify Minimize is identity on passing input and shrinks a failing
+// prefix-heavy sequence if one is ever found).
+func TestMinimizeShrinks(t *testing.T) {
+	opts := Options{Windows: 4, Threads: 2}
+	acts := RandomActions(99, 50, 2)
+	if err := RunSequence(opts, acts); err != nil {
+		t.Fatalf("baseline sequence unexpectedly fails: %v", err)
+	}
+	if got := Minimize(opts, acts); len(got) != len(acts) {
+		t.Errorf("Minimize changed a passing sequence: %d → %d actions", len(acts), len(got))
+	}
+}
+
+// TestInvalidOptions pins the argument validation.
+func TestInvalidOptions(t *testing.T) {
+	if err := RunSequence(Options{Windows: 1, Threads: 1}, nil); err == nil {
+		t.Error("windows=1 accepted")
+	}
+	if err := RunSequence(Options{Windows: 4, Threads: 0}, nil); err == nil {
+		t.Error("threads=0 accepted")
+	}
+}
+
+// TestDivergenceReport checks the report renders the failing step and
+// sequence (constructed directly; no real divergence is available).
+func TestDivergenceReport(t *testing.T) {
+	d := &Divergence{
+		Opts:   Options{Windows: 3, Threads: 2, SearchAlloc: true},
+		Acts:   []Action{{Op: OpSwitch, Thread: 1}, {Op: OpSave}},
+		Step:   1,
+		Scheme: core.SchemeSP,
+		Detail: "synthetic",
+	}
+	var err error = d
+	var back *Divergence
+	if !errors.As(err, &back) {
+		t.Fatal("Divergence does not unwrap as itself")
+	}
+	msg := d.Error()
+	for _, want := range []string{"SP", "step 2/2", "searchalloc", "switch(1)", "save", "synthetic"} {
+		if !contains(msg, want) {
+			t.Errorf("report missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzSchemeDifferential is the go-native fuzz entry: the first bytes
+// pick the configuration (window count 3..8, threads 1..4, allocator
+// and transfer-depth variants), the rest decode to actions. Every
+// divergence the fuzzer finds is a real scheme bug.
+func FuzzSchemeDifferential(f *testing.F) {
+	f.Add([]byte{0, 0, 0x10, 0x10, 0x40, 0x10, 0x30})
+	f.Add([]byte{3, 1, 0x10, 0x10, 0x10, 0x10, 0x20, 0x20, 0x20})
+	f.Add([]byte{5, 2, 0x40, 0x10, 0x41, 0x10, 0x50, 0x30, 0x40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		opts := Options{
+			Windows:      3 + int(data[0]%6),
+			Threads:      1 + int(data[0]/6%4),
+			SearchAlloc:  data[1]&1 != 0,
+			TrapTransfer: int(data[1] >> 1 & 3),
+			HWAssist:     data[1]&8 != 0,
+		}
+		acts := DecodeActions(data[2:])
+		if err := RunSequence(opts, acts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDecodeActions pins the fuzz byte decoding.
+func TestDecodeActions(t *testing.T) {
+	acts := DecodeActions([]byte{0x10, 0x20, 0x35, 0xAB, 0x42, 0x57})
+	want := []Action{
+		{Op: OpSave},
+		{Op: OpRestore},
+		{Op: OpWrite, Reg: 5, Val: 0xAB * 2654435761 & 0xFFFFFFFF},
+		{Op: OpSwitch, Thread: 2},
+		{Op: OpSwitchFlush, Thread: 7},
+	}
+	if len(acts) != len(want) {
+		t.Fatalf("decoded %d actions, want %d: %v", len(acts), len(want), acts)
+	}
+	for i := range want {
+		if acts[i] != want[i] {
+			t.Errorf("action %d = %+v, want %+v", i, acts[i], want[i])
+		}
+	}
+}

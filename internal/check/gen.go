@@ -1,0 +1,273 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file generates the checked action sequences: exhaustive
+// enumeration over a small alphabet, deterministic seeded random
+// sequences for depth, and greedy delta-debugging minimization of a
+// failing sequence.
+
+// alphabet returns the exhaustive-enumeration symbol set for a thread
+// count: save, restore, write, exit, then Switch(t) and SwitchFlush(t)
+// for every slot. Write registers vary by sequence position so one
+// symbol still exercises outs, locals and ins.
+func alphabet(threads int) []Action {
+	syms := []Action{
+		{Op: OpSave},
+		{Op: OpRestore},
+		{Op: OpWrite},
+		{Op: OpExit},
+	}
+	for t := 0; t < threads; t++ {
+		syms = append(syms, Action{Op: OpSwitch, Thread: t})
+	}
+	for t := 0; t < threads; t++ {
+		syms = append(syms, Action{Op: OpSwitchFlush, Thread: t})
+	}
+	return syms
+}
+
+// Exhaustive checks every action sequence of exactly the given length
+// over the symbol alphabet for opts.Threads (prefixes are covered for
+// free because RunSequence checks after every step). It returns the
+// first divergence, or nil with the number of sequences checked.
+func Exhaustive(opts Options, length int) (int, error) {
+	syms := alphabet(opts.Threads)
+	acts := make([]Action, length)
+	idx := make([]int, length)
+	n := 0
+	for {
+		for i, s := range idx {
+			a := syms[s]
+			if a.Op == OpWrite {
+				// Vary the written register and value with the position
+				// so writes land in outs, locals and ins alike.
+				a.Reg = 1 + (i*11+int(a.Val))%31
+				a.Val = uint32(0xC0DE0000 | i<<8 | s)
+			}
+			acts[i] = a
+		}
+		if err := RunSequence(opts, acts); err != nil {
+			return n, err
+		}
+		n++
+		// Odometer increment over the symbol indices.
+		i := length - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(syms) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return n, nil
+		}
+	}
+}
+
+// rng is a splitmix64 generator: tiny, seedable and stable across runs,
+// so every reported failing seed reproduces forever.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// RandomActions builds a deterministic action sequence of length n from
+// the seed, weighted toward deep call/return activity with context
+// switches mixed in (the pattern that stresses spill, in-place
+// underflow and window stealing).
+func RandomActions(seed uint64, n, threads int) []Action {
+	r := &rng{s: seed}
+	acts := make([]Action, 0, n)
+	for len(acts) < n {
+		switch roll := r.intn(100); {
+		case roll < 35:
+			acts = append(acts, Action{Op: OpSave})
+		case roll < 60:
+			acts = append(acts, Action{Op: OpRestore})
+		case roll < 72:
+			acts = append(acts, Action{Op: OpWrite, Reg: r.intn(31) + 1, Val: uint32(r.next())})
+		case roll < 88:
+			acts = append(acts, Action{Op: OpSwitch, Thread: r.intn(threads)})
+		case roll < 95:
+			acts = append(acts, Action{Op: OpSwitchFlush, Thread: r.intn(threads)})
+		default:
+			acts = append(acts, Action{Op: OpExit})
+		}
+	}
+	return acts
+}
+
+// Minimize shrinks a failing action sequence with greedy delta
+// debugging: repeatedly drop chunks (halving the chunk size down to
+// single actions) while the sequence still produces a divergence under
+// opts. Minimization is best effort — the driver re-normalises the
+// shortened sequence, so the failure it preserves may be a different
+// manifestation of the same bug.
+func Minimize(opts Options, acts []Action) []Action {
+	fails := func(a []Action) bool {
+		return RunSequence(opts, a) != nil
+	}
+	if !fails(acts) {
+		return acts
+	}
+	cur := append([]Action(nil), acts...)
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for i := 0; i+chunk <= len(cur); i++ {
+			trial := append(append([]Action(nil), cur[:i]...), cur[i+chunk:]...)
+			if fails(trial) {
+				cur = trial
+				removed = true
+				i-- // the next chunk slid into position i
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	return cur
+}
+
+// DecodeActions turns fuzz input bytes into an action sequence: the
+// high nibble of each byte selects the operation (mod 6: exit, save,
+// restore, write, switch, switch-flush), the low nibble the thread slot
+// or register; a write consumes one extra byte, scrambled into its
+// value. Out-of-range operands are folded by the driver's
+// normalisation, so every byte string decodes to a runnable sequence.
+func DecodeActions(data []byte) []Action {
+	var acts []Action
+	for i := 0; i < len(data); i++ {
+		b := data[i]
+		hi, lo := int(b>>4)%6, int(b&0xF)
+		switch hi {
+		case 0:
+			acts = append(acts, Action{Op: OpExit})
+		case 1:
+			acts = append(acts, Action{Op: OpSave})
+		case 2:
+			acts = append(acts, Action{Op: OpRestore})
+		case 3:
+			var v uint32
+			if i+1 < len(data) {
+				i++
+				v = uint32(data[i]) * 2654435761
+			}
+			acts = append(acts, Action{Op: OpWrite, Reg: lo, Val: v})
+		case 4:
+			acts = append(acts, Action{Op: OpSwitch, Thread: lo})
+		case 5:
+			acts = append(acts, Action{Op: OpSwitchFlush, Thread: lo})
+		}
+	}
+	return acts
+}
+
+// GridConfig bounds a full checking run (the winsim -check entry
+// point and the CI smoke).
+type GridConfig struct {
+	MinWindows, MaxWindows int // inclusive window-count range
+	MaxThreads             int // thread counts 1..MaxThreads
+	ExhaustiveLen          int // exhaustive sequence length (0 skips)
+	RandomRuns             int // seeded random sequences per cell
+	RandomLen              int // length of each random sequence
+	Seed                   uint64
+	Log                    func(format string, args ...interface{}) // optional progress
+}
+
+// DefaultGrid is the bounded configuration used by winsim -check: the
+// ISSUE's windows 3..8 × threads 1..4 grid, exhaustive at a short
+// depth, plus seeded random soaks that also cover the SearchAlloc and
+// TrapTransfer configuration axes the exhaustive pass fixes.
+func DefaultGrid() GridConfig {
+	return GridConfig{
+		MinWindows:    3,
+		MaxWindows:    8,
+		MaxThreads:    4,
+		ExhaustiveLen: 4,
+		RandomRuns:    8,
+		RandomLen:     400,
+		Seed:          1,
+	}
+}
+
+// variants returns the configuration axes checked per grid cell: the
+// default, the Section 4.2 search allocator, a multi-window transfer
+// depth, and the hardware-assist cost model (which must never change
+// architectural state).
+func variants(w, t int) []Options {
+	base := Options{Windows: w, Threads: t}
+	out := []Options{base}
+	sa := base
+	sa.SearchAlloc = true
+	out = append(out, sa)
+	if w >= 4 { // transfer depth is clamped to n-2; 2 needs n >= 4
+		tt := base
+		tt.TrapTransfer = 2
+		out = append(out, tt)
+	}
+	hw := base
+	hw.HWAssist = true
+	out = append(out, hw)
+	return out
+}
+
+// RunGrid sweeps the configured grid. It stops at the first divergence,
+// returning it minimized; nil means the whole grid passed.
+func RunGrid(cfg GridConfig) error {
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	for w := cfg.MinWindows; w <= cfg.MaxWindows; w++ {
+		for t := 1; t <= cfg.MaxThreads; t++ {
+			if cfg.ExhaustiveLen > 0 {
+				opts := Options{Windows: w, Threads: t}
+				n, err := Exhaustive(opts, cfg.ExhaustiveLen)
+				if err != nil {
+					return minimized(opts, err)
+				}
+				logf("check: %s: %d exhaustive sequences of length %d ok", opts, n, cfg.ExhaustiveLen)
+			}
+			for _, opts := range variants(w, t) {
+				for run := 0; run < cfg.RandomRuns; run++ {
+					seed := cfg.Seed + uint64(run)<<32 + uint64(w)<<16 + uint64(t)
+					acts := RandomActions(seed, cfg.RandomLen, t)
+					if err := RunSequence(opts, acts); err != nil {
+						return minimized(opts, fmt.Errorf("seed %#x: %w", seed, err))
+					}
+				}
+			}
+			logf("check: windows=%d threads=%d: %d random runs × %d variants ok",
+				w, t, cfg.RandomRuns, len(variants(w, t)))
+		}
+	}
+	return nil
+}
+
+// minimized shrinks the failing sequence inside err when it carries
+// one, so grid reports are already minimal reproductions.
+func minimized(opts Options, err error) error {
+	var d *Divergence
+	if !errors.As(err, &d) {
+		return err
+	}
+	small := Minimize(opts, d.Acts)
+	if rerun := RunSequence(opts, small); rerun != nil {
+		if rd, ok := rerun.(*Divergence); ok && len(rd.Acts) <= len(d.Acts) {
+			return rd
+		}
+	}
+	return d
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+)
+
+// This file pins the window-count edge cases audited by the
+// differential model checker (internal/check): schemes at the minimum
+// window count of 3, WIM wraparound, and a register file saturated by
+// more threads than it can hold. Each test is a small deterministic
+// sequence extracted from the checker's exhaustive grid.
+
+// RegCheck is an arbitrary local register used by edge tests.
+const RegCheck = 17
+
+// TestMinWindowsDeepWrap runs one thread at windows=3 deep enough for
+// the WIM and the thread's region to wrap the whole file three times,
+// then unwinds to depth zero through the in-place underflow handler,
+// comparing every register against the oracle at every step.
+func TestMinWindowsDeepWrap(t *testing.T) {
+	r := newRig(t, 3, 1)
+	r.switchTo(0, false)
+	for i := 0; i < 11; i++ {
+		r.save(int64(i))
+		r.write(RegCheck, uint32(0xA0000000+i))
+	}
+	for i := 0; i < 11; i++ {
+		r.restore()
+	}
+}
+
+// TestMinWindowsSaturated round-robins four threads over a 3-window
+// file with nested calls, so every dispatch must steal windows from
+// suspended threads (under SP a resident thread wants two slots —
+// window plus PRW — so the file can hold at most one resident thread
+// and the allocator works at its fragmentation limit).
+func TestMinWindowsSaturated(t *testing.T) {
+	r := newRig(t, 3, 4)
+	for round := 0; round < 3; round++ {
+		for j := 0; j < 4; j++ {
+			r.switchTo(j, false)
+			r.save(int64(round*4 + j))
+			r.write(RegCheck, uint32(round<<8|j))
+		}
+	}
+	// Unwind every thread (they resume with their windows spilled).
+	for j := 0; j < 4; j++ {
+		r.switchTo(j, false)
+		for i := 0; i < 3; i++ {
+			r.restore()
+		}
+	}
+}
+
+// TestMinWindowsFlushChurn mixes flushing switches and thread exits at
+// windows=3, the pattern that exercises spillBottom's last-window path
+// (PRW rescue) and window reallocation after exits.
+func TestMinWindowsFlushChurn(t *testing.T) {
+	r := newRig(t, 3, 3)
+	r.switchTo(0, false)
+	r.save(1)
+	r.switchTo(1, true) // flush 0 entirely
+	r.save(2)
+	r.save(3)
+	r.switchTo(2, false) // steal from 1
+	r.exit()             // file partially free again
+	r.switchTo(0, false) // 0 refills from memory
+	r.restore()
+	r.switchTo(1, false) // 1 refills from memory
+	r.restore()
+	r.restore()
+}
+
+// TestWIMWraparoundMinWindows pins the WIM mask across region wrap at
+// the minimum window count: with 3 windows a single thread's region can
+// cover at most n-1 = 2 slots, so exactly one WIM bit stays set no
+// matter how deep the recursion, and the set bit must always be the
+// window just above the region's high end.
+func TestWIMWraparoundMinWindows(t *testing.T) {
+	for _, s := range Schemes {
+		m := New(s, Config{Windows: 3})
+		th := m.NewThread(0, "t0")
+		m.Switch(th)
+		for depth := 1; depth <= 9; depth++ {
+			m.Save()
+			snap := m.(Snapshotter).Snapshot()
+			if got := popcount(snap.WIM); got != 1 {
+				t.Fatalf("%v depth %d: WIM %#x has %d bits set, want 1", s, depth, snap.WIM, got)
+			}
+			if err := m.(Verifier).Verify(); err != nil {
+				t.Fatalf("%v depth %d: %v", s, depth, err)
+			}
+		}
+	}
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// TestSPPRWStealingSaturated pins SP's private-reserved-window
+// allocation when the file is saturated: at windows=3 a dispatched
+// thread needs two slots (window + PRW), so scheduling B evicts
+// suspended A completely — A's frames spill, its PRW is released after
+// its outs are rescued to the TCB, and B's PRW never collides with any
+// owned slot (the PRW-exclusivity invariant).
+func TestSPPRWStealingSaturated(t *testing.T) {
+	sp := New(SchemeSP, Config{Windows: 3}).(*SP)
+	a := sp.NewThread(0, "A")
+	b := sp.NewThread(1, "B")
+
+	sp.Switch(a)
+	sp.Save() // A: depth 1, two windows + PRW = file full
+	sp.SetReg(RegCheck, 0xAAAA0001)
+	if a.prw == noSlot {
+		t.Fatal("A has no PRW while running")
+	}
+
+	sp.Switch(b)
+	if err := sp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if a.HasWindows() {
+		t.Errorf("A still resident after B's allocation on a full 3-window file: %v", sp.Snapshot())
+	}
+	if a.prw != noSlot {
+		t.Errorf("A keeps PRW slot %d with no resident windows", a.prw)
+	}
+	if a.SavedWindows() != a.Depth()+1 {
+		t.Errorf("A has %d frames in memory, want %d", a.SavedWindows(), a.Depth()+1)
+	}
+	if b.prw == noSlot {
+		t.Fatal("B has no PRW while running")
+	}
+
+	// A resumes: its stack-top frame returns from memory and its outs
+	// from the TCB; the register written before eviction must survive.
+	sp.Switch(a)
+	if got := sp.Reg(RegCheck); got != 0xAAAA0001 {
+		t.Errorf("A's local r%d = %#x after round trip, want 0xAAAA0001", RegCheck, got)
+	}
+	sp.Restore()
+	if err := sp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSNPReservedWraparound pins SNP's single global reserved window
+// walking all the way around a 3-window file during deep recursion: the
+// reserved slot must advance ahead of the thread's growth every
+// overflow and never coincide with an owned slot.
+func TestSNPReservedWraparound(t *testing.T) {
+	snp := New(SchemeSNP, Config{Windows: 3}).(*SNP)
+	th := snp.NewThread(0, "t0")
+	snp.Switch(th)
+	seen := map[int]bool{}
+	for depth := 1; depth <= 9; depth++ {
+		snp.Save()
+		if snp.slots[snp.reserved].owner != nil {
+			t.Fatalf("depth %d: reserved slot %d is owned by %v", depth, snp.reserved, snp.slots[snp.reserved].owner)
+		}
+		seen[snp.reserved] = true
+		if err := snp.Verify(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("reserved window visited slots %v over 9 saves on 3 windows, want all 3", seen)
+	}
+}

@@ -125,9 +125,17 @@ func (m *machine) evBegin() evSnap {
 }
 
 // evEnd closes an event scope, emitting the event when this was the
-// outermost scope and a hook is installed.
+// outermost scope and a hook is installed. When SetInvariantChecks is
+// on, the outermost close also runs the scheme's full invariant set
+// (invariants.go) against the post-operation state, so every Switch,
+// Save, Restore and Exit in an instrumented process is audited.
 func (m *machine) evEnd(kind EventKind, thread int, s evSnap) {
 	m.evNest--
+	if m.evNest == 0 && invariantChecks.Load() && m.selfVerify != nil {
+		if err := m.selfVerify(); err != nil {
+			panic(fmt.Sprintf("core: invariant violation after %v: %v", kind, err))
+		}
+	}
 	if m.onEvent == nil || m.evNest > 0 {
 		return
 	}

@@ -1,13 +1,36 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// invariantChecks arms the runtime assertion layer: when set, every
+// outermost window-management operation (Switch, SwitchFlush, Save,
+// Restore, Exit) on the NS, SNP and SP schemes re-runs the full
+// invariant set below and panics on the first violation. The default is
+// off — one atomic load per operation — so production runs pay nothing;
+// every test package in this repository turns it on in TestMain.
+var invariantChecks atomic.Bool
+
+// SetInvariantChecks toggles the always-on invariant audit. It may be
+// flipped at any time; the checks never charge cycles or touch counters,
+// so enabling them cannot perturb simulation results.
+func SetInvariantChecks(on bool) { invariantChecks.Store(on) }
+
+// InvariantChecksEnabled reports whether the runtime audit is armed.
+func InvariantChecksEnabled() bool { return invariantChecks.Load() }
 
 // Verify checks the structural invariants shared by the real schemes:
 // every thread's owned slots form one contiguous region [bottom..high]
 // with its CWP inside, PRW slots sit immediately above their owner's
-// region, and the running thread's WIM marks exactly the windows outside
-// its region. It returns nil when consistent. Tests call it after every
-// operation; the harness calls it at checkpoints.
+// region, the running thread's WIM marks exactly the windows outside
+// its region, and every registered thread conserves its frames across
+// spills and the in-place underflow handler (depth+1 frames are split
+// exactly between the memory save area and the resident live windows).
+// It returns nil when consistent. Tests call it after every operation;
+// the harness calls it at checkpoints; SetInvariantChecks runs it after
+// every operation at runtime.
 func (m *machine) verify(scheme Scheme, reserved int) error {
 	n := m.file.NWindows()
 
@@ -89,6 +112,38 @@ func (m *machine) verify(scheme Scheme, reserved int) error {
 		}
 		if t != m.running && t.high != t.cwp {
 			return fmt.Errorf("suspended %v has dead windows (cwp %d, high %d)", t, t.cwp, t.high)
+		}
+	}
+
+	// Every registered thread — including windowless ones the ownership
+	// table cannot reach — must conserve its call frames: a thread at
+	// depth d has d+1 frames, each either spilled to the save area or
+	// resident in a live window between bottom and CWP. The in-place
+	// underflow handler (Section 3.2) and every spill path must keep
+	// this exact; losing or duplicating a frame here is how another
+	// thread's window gets silently clobbered.
+	for _, t := range m.threads {
+		if !t.HasWindows() {
+			if o := byThread[t]; o != nil {
+				return fmt.Errorf("%v owns %d slots but HasWindows is false", t, len(o.windows))
+			}
+			if t.prw != noSlot {
+				return fmt.Errorf("windowless %v still holds PRW slot %d", t, t.prw)
+			}
+			if t.saved != 0 && t.saved != t.depth+1 {
+				return fmt.Errorf("windowless %v has %d saved frames at depth %d (want 0 or %d)",
+					t, t.saved, t.depth, t.depth+1)
+			}
+			continue
+		}
+		cwp := t.cwp
+		if t == m.running {
+			cwp = m.file.CWP()
+		}
+		live := m.file.Distance(t.bottom, cwp) + 1
+		if t.saved+live != t.depth+1 {
+			return fmt.Errorf("%v frame conservation broken: %d saved + %d resident != depth %d + 1",
+				t, t.saved, live, t.depth)
 		}
 	}
 

@@ -1,0 +1,14 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain arms the runtime invariant audit for every test in this
+// package: each Switch, SwitchFlush, Save, Restore and Exit on any
+// scheme re-verifies the full invariant set and panics on violation.
+func TestMain(m *testing.M) {
+	SetInvariantChecks(true)
+	os.Exit(m.Run())
+}

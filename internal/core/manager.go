@@ -184,6 +184,16 @@ type machine struct {
 	activity *stats.ActivityRecorder
 	hw       bool // hardware-assisted cost model (Config.HWAssist)
 
+	// threads lists every thread ever registered, so the invariant
+	// checker can audit windowless threads too (the ownership table only
+	// reaches threads that currently own slots).
+	threads []*Thread
+
+	// selfVerify is the scheme's Verify method, wired by the scheme
+	// constructor so the shared event scope can run the invariant set
+	// after every outermost operation when SetInvariantChecks is on.
+	selfVerify func() error
+
 	// onEvent, when non-nil, receives one Event per window-management
 	// operation (events.go). evNest suppresses emission from operations
 	// that run inside another one (SwitchFlush runs Switch).
@@ -255,6 +265,7 @@ func (m *machine) newThread(id int, name string) *Thread {
 	t := &Thread{ID: id, Name: name, saveBase: m.stacks.Alloc()}
 	t.resetWindows()
 	t.initOuts()
+	m.threads = append(m.threads, t)
 	return t
 }
 

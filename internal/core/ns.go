@@ -20,6 +20,7 @@ type NS struct {
 // NewNS returns a non-sharing manager.
 func NewNS(cfg Config) *NS {
 	ns := &NS{machine: newMachine(cfg), reserved: noSlot}
+	ns.selfVerify = ns.Verify
 	return ns
 }
 

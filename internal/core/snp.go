@@ -21,7 +21,9 @@ type SNP struct {
 
 // NewSNP returns a sharing-without-PRW manager.
 func NewSNP(cfg Config) *SNP {
-	return &SNP{machine: newMachine(cfg), reserved: noSlot, searchAlloc: cfg.SearchAlloc}
+	s := &SNP{machine: newMachine(cfg), reserved: noSlot, searchAlloc: cfg.SearchAlloc}
+	s.selfVerify = s.Verify
+	return s
 }
 
 // Scheme returns SchemeSNP.

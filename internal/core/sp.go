@@ -22,7 +22,9 @@ type SP struct {
 
 // NewSP returns a sharing-with-PRW manager.
 func NewSP(cfg Config) *SP {
-	return &SP{machine: newMachine(cfg), lastPRW: noSlot}
+	s := &SP{machine: newMachine(cfg), lastPRW: noSlot}
+	s.selfVerify = s.Verify
+	return s
 }
 
 // Scheme returns SchemeSP.

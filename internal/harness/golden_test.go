@@ -36,11 +36,18 @@ func TestFigureOutputsGolden(t *testing.T) {
 			t.Fatalf("%s: WriteCSV: %v", fg.name, err)
 		}
 	}
+	got := sb.String()
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile("testdata/figures_quick_golden.txt", []byte(got), 0o644); err != nil {
+			t.Fatalf("updating golden file: %v", err)
+		}
+		t.Log("golden file regenerated; review the diff and mention the model change in the commit")
+		return
+	}
 	want, err := os.ReadFile("testdata/figures_quick_golden.txt")
 	if err != nil {
 		t.Fatalf("reading golden file: %v", err)
 	}
-	got := sb.String()
 	if got == string(want) {
 		return
 	}

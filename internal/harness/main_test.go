@@ -1,0 +1,17 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"cyclicwin/internal/core"
+)
+
+// TestMain arms the core invariant audit for every harness test,
+// including the fig11–15 golden runs: the goldens must stay
+// byte-identical with the audit on, pinning that invariant checking
+// never perturbs simulation results.
+func TestMain(m *testing.M) {
+	core.SetInvariantChecks(true)
+	os.Exit(m.Run())
+}

@@ -222,3 +222,53 @@ func TestTracingDoesNotPerturbResults(t *testing.T) {
 		}
 	}
 }
+
+// TestEventOrderingUnchangedByInvariantChecks pins that arming the
+// runtime invariant audit (core.SetInvariantChecks, on for this whole
+// test binary) changes nothing observable in the trace/hook event
+// stream: the same cell traced with the audit disabled must produce the
+// identical event sequence — same kinds, same order, same cycle stamps,
+// same per-event costs and window state. The audit runs inside the
+// event scope but after the operation completes, so any perturbation
+// here would also invalidate the fig11–15 goldens.
+func TestEventOrderingUnchangedByInvariantChecks(t *testing.T) {
+	if !core.InvariantChecksEnabled() {
+		t.Fatal("invariant checks are not armed; TestMain should have enabled them")
+	}
+	defer core.SetInvariantChecks(true) // restore for the other tests
+
+	sz := Sizes{Draft: 2000, Dict: 3001}
+	b, _ := BehaviorByName("high-fine")
+	for _, scheme := range core.Schemes {
+		cfg := core.Config{Windows: 6}
+
+		core.SetInvariantChecks(true)
+		mgrOn := core.New(scheme, cfg)
+		trOn := obs.NewTracer(0)
+		if !trOn.Attach(mgrOn) {
+			t.Fatalf("%v does not expose the event hook", scheme)
+		}
+		runParityCell(t, mgrOn, b, sz)
+
+		core.SetInvariantChecks(false)
+		mgrOff := core.New(scheme, cfg)
+		trOff := obs.NewTracer(0)
+		trOff.Attach(mgrOff)
+		runParityCell(t, mgrOff, b, sz)
+		core.SetInvariantChecks(true)
+
+		on, off := trOn.Events(), trOff.Events()
+		if len(on) != len(off) {
+			t.Fatalf("%v: %d events with audit on, %d with audit off", scheme, len(on), len(off))
+		}
+		for i := range on {
+			if on[i] != off[i] {
+				t.Fatalf("%v: event %d differs under the audit:\n on  %+v\n off %+v", scheme, i, on[i], off[i])
+			}
+		}
+		if mgrOn.Cycles().Total() != mgrOff.Cycles().Total() {
+			t.Fatalf("%v: cycle totals differ under the audit: on %d off %d",
+				scheme, mgrOn.Cycles().Total(), mgrOff.Cycles().Total())
+		}
+	}
+}

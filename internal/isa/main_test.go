@@ -1,0 +1,16 @@
+package isa_test
+
+import (
+	"os"
+	"testing"
+
+	"cyclicwin/internal/core"
+)
+
+// TestMain arms the core invariant audit for every interpreter test:
+// all window motion driven by either interpreter path is re-verified
+// after each operation.
+func TestMain(m *testing.M) {
+	core.SetInvariantChecks(true)
+	os.Exit(m.Run())
+}

@@ -144,3 +144,47 @@ func TestFormatValue(t *testing.T) {
 		}
 	}
 }
+
+// TestFoldBucketsAfterMerge pins the exposition identity the aggregated
+// endpoints rely on: folding a merged distribution must equal the
+// bucketwise sum of folding each source, including when the sources
+// overlap in exact buckets and when scaled samples land exactly on a
+// bucket bound.
+func TestFoldBucketsAfterMerge(t *testing.T) {
+	var a, b stats.Distribution
+	for _, v := range []uint64{5, 10, 50, 50} { // 10µs lands exactly on the first bound
+		a.Observe(v)
+	}
+	for _, v := range []uint64{10, 50, 5000} { // overlaps a's 10 and 50 buckets
+		b.Observe(v)
+	}
+	bounds := []float64{1e-5, 1e-4, 1e-3}
+
+	merged := a.Clone()
+	merged.Merge(&b)
+	mb, msum, mn := FoldBuckets(&merged, bounds, 1e-6)
+
+	ab, asum, an := FoldBuckets(&a, bounds, 1e-6)
+	bb, bsum, bn := FoldBuckets(&b, bounds, 1e-6)
+
+	if mn != an+bn {
+		t.Fatalf("merged count %d, want %d", mn, an+bn)
+	}
+	if math.Abs(msum-(asum+bsum)) > 1e-12 {
+		t.Fatalf("merged sum %g, want %g", msum, asum+bsum)
+	}
+	for i := range bounds {
+		if mb[i].Cumulative != ab[i].Cumulative+bb[i].Cumulative {
+			t.Fatalf("bucket le=%g: merged cumulative %d, want %d+%d (merged %+v a %+v b %+v)",
+				bounds[i], mb[i].Cumulative, ab[i].Cumulative, bb[i].Cumulative, mb, ab, bb)
+		}
+	}
+	// Spot-check the absolute contents: ≤10µs holds a's 5 and 10 plus
+	// b's 10; ≤100µs adds the three 50s; 5ms stays above every bound.
+	wantCum := []uint64{3, 6, 6}
+	for i, w := range wantCum {
+		if mb[i].Cumulative != w {
+			t.Fatalf("bucket le=%g cumulative %d, want %d", bounds[i], mb[i].Cumulative, w)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package sched
+
+import (
+	"os"
+	"testing"
+
+	"cyclicwin/internal/core"
+)
+
+// TestMain arms the core invariant audit for every scheduler test.
+func TestMain(m *testing.M) {
+	core.SetInvariantChecks(true)
+	os.Exit(m.Run())
+}

@@ -100,6 +100,14 @@ type TCB struct {
 	// flushOnSwitch requests the Section 4.4 flushing switch when this
 	// thread is suspended (for threads known to sleep long).
 	flushOnSwitch bool
+
+	// wokeResident marks a thread that was front-queued by Wake because
+	// its windows were resident. Residency can go stale between wake and
+	// dispatch (the running thread's growth may reclaim the sleeper's
+	// last window), so pop re-checks it and demotes a stale head to the
+	// back of the queue — the working-set rationale for jumping the
+	// queue no longer holds once the windows are gone.
+	wokeResident bool
 }
 
 // Name returns the thread's name.
@@ -364,7 +372,19 @@ func (k *Kernel) pop() *TCB {
 	if len(k.ready) == 0 {
 		return nil
 	}
+	// Working-set front-queueing is justified only while the woken
+	// thread's windows are actually resident. If they were reclaimed
+	// between wake and dispatch, demote the head to the back once (the
+	// cleared flag guarantees progress) and take the next thread.
+	for k.policy == WorkingSet && len(k.ready) > 1 &&
+		k.ready[0].wokeResident && !k.mgr.Resident(k.ready[0].Core) {
+		t := k.ready[0]
+		t.wokeResident = false
+		copy(k.ready, k.ready[1:])
+		k.ready[len(k.ready)-1] = t
+	}
 	t := k.ready[0]
+	t.wokeResident = false
 	copy(k.ready, k.ready[1:])
 	k.ready = k.ready[:len(k.ready)-1]
 	return t
@@ -380,6 +400,7 @@ func (k *Kernel) Wake(t *TCB) {
 	}
 	t.state = Ready
 	if k.policy == WorkingSet && k.mgr.Resident(t.Core) {
+		t.wokeResident = true
 		k.ready = append([]*TCB{t}, k.ready...)
 	} else {
 		k.ready = append(k.ready, t)

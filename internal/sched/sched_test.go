@@ -484,3 +484,85 @@ func TestArgLimit(t *testing.T) {
 	})
 	k.Run()
 }
+
+// deepen grows the calling thread's window stack by the given number of
+// real frames, forcing window overflows that steal suspended threads'
+// windows on a small file.
+func deepen(e *Env) {
+	if e.Arg(0) > 0 {
+		e.Call(deepen, e.Arg(0)-1)
+	}
+}
+
+// TestWorkingSetStaleResidencyDemoted pins the wake-versus-reclaim gap:
+// a sleeper is woken while its windows are resident (and so jumps to
+// the front of the ready queue), but before it is dispatched the
+// running thread's growth reclaims its last window. The front slot was
+// granted for a zero-transfer dispatch that is no longer possible, so
+// the scheduler must demote the now-nonresident sleeper behind the
+// waiting filler.
+func TestWorkingSetStaleResidencyDemoted(t *testing.T) {
+	k := newKernel(core.SchemeSP, 4, WorkingSet)
+	var order []string
+	var sleeper *TCB
+	sleeper = k.Spawn("sleeper", func(e *Env) {
+		e.Block()
+		order = append(order, "sleeper")
+	})
+	k.Spawn("waker", func(e *Env) {
+		k.Wake(sleeper)
+		if !k.mgr.Resident(sleeper.Core) {
+			t.Error("sleeper not resident at wake time; scenario broken")
+		}
+		// Grow past the whole 4-window file: the sleeper's last window
+		// is spilled to make room.
+		e.Call(deepen, 6)
+		if k.mgr.Resident(sleeper.Core) {
+			t.Error("sleeper still resident after deep growth; scenario broken")
+		}
+		order = append(order, "waker")
+	})
+	k.Spawn("filler", func(e *Env) {
+		order = append(order, "filler")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprint(order)
+	want := fmt.Sprint([]string{"waker", "filler", "sleeper"})
+	if got != want {
+		t.Errorf("order = %v, want %v (stale front slot not demoted)", got, want)
+	}
+}
+
+// TestWorkingSetFreshResidencyKeepsFront is the positive control for
+// the demotion: when the woken thread's windows are still resident at
+// dispatch time, the front slot is honoured exactly as before.
+func TestWorkingSetFreshResidencyKeepsFront(t *testing.T) {
+	k := newKernel(core.SchemeSP, 16, WorkingSet)
+	var order []string
+	var sleeper *TCB
+	sleeper = k.Spawn("sleeper", func(e *Env) {
+		e.Block()
+		order = append(order, "sleeper")
+	})
+	k.Spawn("waker", func(e *Env) {
+		k.Wake(sleeper)
+		e.Call(deepen, 4) // plenty of windows: nothing is stolen
+		if !k.mgr.Resident(sleeper.Core) {
+			t.Error("sleeper lost residency on a 16-window file; scenario broken")
+		}
+		order = append(order, "waker")
+	})
+	k.Spawn("filler", func(e *Env) {
+		order = append(order, "filler")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprint(order)
+	want := fmt.Sprint([]string{"waker", "sleeper", "filler"})
+	if got != want {
+		t.Errorf("order = %v, want %v (resident sleeper must keep the front)", got, want)
+	}
+}
