@@ -11,7 +11,9 @@
 // dictionaries). Figure sweeps execute their cells concurrently on a
 // simsvc worker pool (-parallel=false forces the serial path; both
 // produce byte-identical output). With -cachedir, completed cells are
-// stored on disk and reused across invocations. With -trace FILE, every
+// stored on disk and reused across invocations. With -cluster, sweep
+// cells shard across a set of winsimd workers by content hash (see
+// DESIGN.md §10) and still print byte-identical figures. With -trace FILE, every
 // cell records its window-management events and the run writes one
 // Chrome trace_event JSON file (open it in chrome://tracing or
 // Perfetto); tracing only observes, so the printed tables are
@@ -29,6 +31,7 @@ import (
 	"strings"
 
 	"cyclicwin/internal/check"
+	"cyclicwin/internal/cluster"
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/fault"
 	"cyclicwin/internal/harness"
@@ -45,6 +48,8 @@ func main() {
 	parallel := flag.Bool("parallel", true, "run sweep cells concurrently on a worker pool")
 	workers := flag.Int("workers", 0, "pool size when -parallel (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cachedir", "", "reuse completed cells from this on-disk result store")
+	clusterAddrs := flag.String("cluster", "", "comma-separated winsimd worker URLs; sweep cells shard across them by content hash")
+	clusterDiscover := flag.Bool("clusterdiscover", true, "with -cluster: ask the listed workers for the full member list")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	maxCycles := flag.Uint64("maxcycles", 0, "per-simulation cycle budget; a cell exceeding it aborts with a diagnostic (0 = off)")
@@ -128,10 +133,46 @@ func main() {
 		chrome = &obs.ChromeTrace{}
 	}
 	if *maxCycles > 0 || *faultSeed != 0 || chrome != nil {
+		if *clusterAddrs != "" {
+			fmt.Fprintln(os.Stderr, "winsim: -cluster is incompatible with -maxcycles, -faultseed and -trace (their results must not come from a cache)")
+			os.Exit(2)
+		}
 		*parallel = false
 		runner = serialRunner(*maxCycles, *faultSeed, chrome)
 	}
-	if *parallel {
+	switch {
+	case *clusterAddrs != "":
+		// Distributed sweep: shard cells across the winsimd workers by
+		// content hash, peer-filling this process's cache from theirs.
+		// Cells whose every owner is unreachable run inline, so a sweep
+		// always completes. Determinism makes the routing invisible: the
+		// printed figures are byte-identical to the serial path.
+		members := clusterWorkers(*clusterAddrs, *clusterDiscover)
+		cache, err := simsvc.NewCache(0, *cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
+			os.Exit(1)
+		}
+		node := cluster.NewNode("", members, cluster.NodeConfig{
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "winsim: "+format+"\n", args...)
+			},
+		})
+		defer node.Close()
+		node.StartProber()
+		cache.SetRemote(node.PeerCache())
+		coord := cluster.NewCoordinator(node, cluster.CoordinatorConfig{Cache: cache})
+		runner = coord.Runner()
+		defer func() {
+			snap := node.Metrics().Snapshot()
+			var routed uint64
+			for _, n := range snap.Routed {
+				routed += n
+			}
+			fmt.Fprintf(os.Stderr, "winsim: cluster — %d cells routed across %d workers, %d retried, %d inline, %d peer fills\n",
+				routed, len(members), snap.Retried, snap.Local, snap.PeerFills)
+		}()
+	case *parallel:
 		cache, err := simsvc.NewCache(0, *cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
@@ -186,6 +227,46 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
 	}
+}
+
+// clusterWorkers expands the -cluster flag into a worker list: the
+// comma-separated addresses, plus (with -clusterdiscover) every member
+// the reachable ones report, so a single seed address is enough to
+// address a whole cluster.
+func clusterWorkers(addrs string, discover bool) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(addr string) {
+		if addr = cluster.NormalizeAddr(addr); addr != "" && !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	seeds := strings.Split(addrs, ",")
+	for _, s := range seeds {
+		add(s)
+	}
+	if discover {
+		for _, s := range seeds {
+			s = cluster.NormalizeAddr(s)
+			if s == "" {
+				continue
+			}
+			members, err := cluster.Discover(s, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "winsim: discovering members via %s: %v\n", s, err)
+				continue
+			}
+			for _, m := range members {
+				add(m)
+			}
+		}
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "winsim: -cluster lists no usable worker addresses")
+		os.Exit(2)
+	}
+	return out
 }
 
 // runCheck runs the differential model checker over its windows 3..8 ×

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"cyclicwin/internal/harness"
+	"cyclicwin/internal/simsvc"
+	"cyclicwin/internal/stats"
+)
+
+// CoordinatorConfig tunes how cells are fanned out.
+type CoordinatorConfig struct {
+	// Cache, when non-nil, answers cells before any routing and stores
+	// every result (the local tier of the coordinating node; with a
+	// remote tier configured it also peer-fills).
+	Cache *simsvc.Cache
+	// CellTimeout bounds one cell's routed execution across all
+	// client-level retries against one worker (default 2m).
+	CellTimeout time.Duration
+	// MaxRetries is the per-worker transport retry budget handed to the
+	// simsvc client (default 2; the coordinator separately retries on
+	// the next ring owner).
+	MaxRetries int
+	// Parallelism bounds concurrently in-flight cells (default 4 per
+	// member, min 4).
+	Parallelism int
+	// Logf, when non-nil, receives routing decisions worth knowing.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator splits sweeps into per-cell jobs and routes each cell to
+// the healthy ring owner of its spec hash. It implements the pluggable
+// harness.Runner contract, so every existing sweep code path (winsim
+// figures, winsimd catalog experiments) distributes without changes —
+// and because each cell is a pure function of its spec, the merged
+// figure is byte-identical to the serial one no matter which member
+// computed which cell.
+//
+// Failure handling follows the sentinel taxonomy: deterministic
+// failures (guest faults, invalid specs — anything a retry cannot fix)
+// stop routing immediately, while transport errors and transient
+// statuses first burn the client's backoff budget against the same
+// worker, then mark it failed and move to the next ring owner. A cell
+// no worker can answer runs inline, so a sweep completes even with the
+// whole cluster dead.
+type Coordinator struct {
+	node *Node
+	cfg  CoordinatorConfig
+
+	// OnLocalCell, when non-nil, observes every cell the coordinator
+	// executed inline (winsimd wires it to the pool's per-scheme
+	// simulation metrics so locally computed cells are counted exactly
+	// like pool-run ones).
+	OnLocalCell func(scheme string, c *stats.Counters)
+
+	mu      sync.Mutex
+	clients map[string]*simsvc.Client
+	sem     chan struct{}
+}
+
+// NewCoordinator builds a coordinator over the node's membership.
+func NewCoordinator(node *Node, cfg CoordinatorConfig) *Coordinator {
+	if cfg.CellTimeout <= 0 {
+		cfg.CellTimeout = 2 * time.Minute
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 4 * len(node.Members())
+		if cfg.Parallelism < 4 {
+			cfg.Parallelism = 4
+		}
+	}
+	return &Coordinator{
+		node:    node,
+		cfg:     cfg,
+		clients: make(map[string]*simsvc.Client),
+		sem:     make(chan struct{}, cfg.Parallelism),
+	}
+}
+
+// Node returns the coordinator's cluster node.
+func (c *Coordinator) Node() *Node { return c.node }
+
+func (c *Coordinator) client(worker string) *simsvc.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl, ok := c.clients[worker]
+	if !ok {
+		cl = simsvc.NewClient(worker)
+		cl.MaxRetries = c.cfg.MaxRetries
+		cl.BaseBackoff = 50 * time.Millisecond
+		cl.HTTPClient = c.node.httpc
+		c.clients[worker] = cl
+	}
+	return cl
+}
+
+// Runner adapts the coordinator into a harness.Runner: all cells of a
+// batch fan out concurrently (bounded by Parallelism) and results come
+// back in batch order.
+func (c *Coordinator) Runner() harness.Runner {
+	return func(cells []harness.CellSpec) []harness.Result {
+		out := make([]harness.Result, len(cells))
+		var wg sync.WaitGroup
+		for i, cell := range cells {
+			c.sem <- struct{}{}
+			wg.Add(1)
+			go func(i int, cell harness.CellSpec) {
+				defer wg.Done()
+				defer func() { <-c.sem }()
+				out[i] = c.RunCell(cell)
+			}(i, cell)
+		}
+		wg.Wait()
+		return out
+	}
+}
+
+// RunCell answers one sweep cell: local cache (with peer fill), then
+// the ring owners in order, then inline execution.
+func (c *Coordinator) RunCell(cell harness.CellSpec) harness.Result {
+	spec := simsvc.CellSpec(cell)
+	hash := spec.Hash()
+
+	if res, ok := c.cfg.Cache.Get(hash); ok && res.Cell != nil {
+		return res.Cell.HarnessResult(spec)
+	}
+
+	tried := make(map[string]bool)
+	for {
+		owner, ok := c.nextOwner(hash, tried)
+		if !ok || owner == c.node.self {
+			break // exhausted the healthy members, or we own the cell
+		}
+		tried[owner] = true
+		if len(tried) > 1 {
+			c.node.metrics.cellRetried()
+		}
+		res, err := c.submit(owner, spec)
+		if err == nil {
+			c.cfg.Cache.Put(hash, res)
+			c.node.metrics.cellRouted(owner)
+			return res.Cell.HarnessResult(spec)
+		}
+		if terminal(err) {
+			// Deterministic failure: every worker (and the serial path)
+			// would answer identically, so stop routing and let the
+			// inline run reproduce the authoritative outcome.
+			break
+		}
+		c.node.health.ReportFailure(owner)
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("cluster: cell %s/w%d/%s on %s failed (%v); re-routing",
+				spec.Scheme, spec.Windows, spec.Behavior, owner, err)
+		}
+	}
+
+	r := cell.Run()
+	c.node.metrics.cellLocal()
+	if c.OnLocalCell != nil {
+		c.OnLocalCell(cell.Scheme.String(), &r.Counters)
+	}
+	c.cfg.Cache.Put(hash, &simsvc.JobResult{Spec: spec, Cell: simsvc.CellResultOf(r)})
+	return r
+}
+
+// nextOwner picks the first healthy ring successor of the hash that has
+// not been tried yet.
+func (c *Coordinator) nextOwner(hash string, tried map[string]bool) (string, bool) {
+	ring := c.node.HealthyRing()
+	for _, m := range ring.Successors(hash, ring.Len()) {
+		if !tried[m] {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+// submit routes one cell to a worker and returns its completed result.
+func (c *Coordinator) submit(worker string, spec simsvc.JobSpec) (*simsvc.JobResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CellTimeout)
+	defer cancel()
+	v, err := c.client(worker).Submit(ctx, spec, true)
+	if err != nil {
+		return nil, err
+	}
+	if v.Result == nil || v.Result.Cell == nil {
+		return nil, errors.New("cluster: worker returned a job view without a cell result")
+	}
+	return v.Result, nil
+}
+
+// terminal reports whether an error ends routing for this cell,
+// following the sentinel taxonomy: ErrGuestFault (422) is
+// deterministic, and ErrTimeout (504) and ErrPoolSaturated (429) have
+// already consumed the client's backoff budget against the worker —
+// re-running an over-budget cell elsewhere wastes another timeout, so
+// all three fall through to the authoritative inline run, exactly like
+// the pool Runner's fallback. Spec errors (other 4xx) are terminal too.
+// Transport errors and sick-worker 5xx re-route to the next ring owner.
+func terminal(err error) bool {
+	var apiErr *simsvc.APIError
+	if !errors.As(err, &apiErr) {
+		return false // transport-level failure: re-route
+	}
+	switch apiErr.StatusCode {
+	case http.StatusTooManyRequests, http.StatusGatewayTimeout, http.StatusUnprocessableEntity:
+		return true
+	}
+	return apiErr.StatusCode < 500
+}

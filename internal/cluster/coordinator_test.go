@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"errors"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"cyclicwin/internal/harness"
+	"cyclicwin/internal/simsvc"
+	"cyclicwin/internal/stats"
+)
+
+// newWorker boots a real winsimd worker (pool + HTTP API) on a local
+// listener.
+func newWorker(t *testing.T) (*httptest.Server, *simsvc.Pool) {
+	t.Helper()
+	cache, err := simsvc.NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := simsvc.NewPool(simsvc.PoolConfig{Workers: 2, Cache: cache})
+	t.Cleanup(pool.Close)
+	ts := httptest.NewServer(simsvc.NewServer(pool))
+	t.Cleanup(ts.Close)
+	return ts, pool
+}
+
+// deadAddr returns a URL nothing listens on (the listener is opened and
+// closed, so the port was free a moment ago).
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(nil)
+	url := ts.URL
+	ts.Close()
+	return url
+}
+
+func figure(t *testing.T, name string) simsvc.Experiment {
+	t.Helper()
+	e, ok := simsvc.LookupExperiment(name)
+	if !ok {
+		t.Fatalf("experiment %q missing from the catalog", name)
+	}
+	return e
+}
+
+// TestCoordinatorFigureMatchesSerial is the subsystem's core promise:
+// a figure sweep sharded across three live workers renders the exact
+// bytes of the serial path.
+func TestCoordinatorFigureMatchesSerial(t *testing.T) {
+	w1, _ := newWorker(t)
+	w2, _ := newWorker(t)
+	w3, _ := newWorker(t)
+
+	node := NewNode("", []string{w1.URL, w2.URL, w3.URL}, NodeConfig{})
+	defer node.Close()
+	cache, _ := simsvc.NewCache(0, "")
+	coord := NewCoordinator(node, CoordinatorConfig{Cache: cache})
+
+	e := figure(t, "fig11")
+	windows := []int{4, 6}
+	gotOut, gotCSV := e.Run(harness.QuickSizes, windows, coord.Runner())
+	wantOut, wantCSV := e.Run(harness.QuickSizes, windows, harness.RunSerial)
+	if gotOut != wantOut {
+		t.Errorf("distributed figure differs from serial:\n--- distributed ---\n%s\n--- serial ---\n%s", gotOut, wantOut)
+	}
+	if gotCSV != wantCSV {
+		t.Errorf("distributed CSV differs from serial")
+	}
+
+	snap := node.Metrics().Snapshot()
+	var routed uint64
+	for _, n := range snap.Routed {
+		routed += n
+	}
+	if routed == 0 {
+		t.Error("no cells were routed to workers")
+	}
+	if snap.Local != 0 {
+		t.Errorf("%d cells ran inline although all three workers are healthy", snap.Local)
+	}
+}
+
+// TestCoordinatorReroutesDeadWorker kills a third of the ring before
+// the sweep starts: cells owned by the dead member must re-route to its
+// ring successors and the figure must still match the serial bytes.
+func TestCoordinatorReroutesDeadWorker(t *testing.T) {
+	w1, _ := newWorker(t)
+	w2, _ := newWorker(t)
+	dead := deadAddr(t)
+
+	node := NewNode("", []string{w1.URL, w2.URL, dead}, NodeConfig{})
+	defer node.Close()
+	cache, _ := simsvc.NewCache(0, "")
+	coord := NewCoordinator(node, CoordinatorConfig{Cache: cache, MaxRetries: 1})
+
+	e := figure(t, "fig11")
+	windows := []int{4, 6}
+	gotOut, _ := e.Run(harness.QuickSizes, windows, coord.Runner())
+	wantOut, _ := e.Run(harness.QuickSizes, windows, harness.RunSerial)
+	if gotOut != wantOut {
+		t.Errorf("figure with a dead worker differs from serial:\n%s", gotOut)
+	}
+
+	snap := node.Metrics().Snapshot()
+	if snap.Retried == 0 {
+		t.Error("no cell was retried although a member owning ~1/3 of the ring is dead")
+	}
+	if n := snap.Routed[dead]; n != 0 {
+		t.Errorf("%d cells were recorded as answered by the dead worker", n)
+	}
+}
+
+// TestCoordinatorInlineFallbackAllDead: with every worker dead the
+// sweep must still complete — inline, with the same bytes — and the
+// OnLocalCell hook must see every inline cell.
+func TestCoordinatorInlineFallbackAllDead(t *testing.T) {
+	node := NewNode("", []string{deadAddr(t)}, NodeConfig{})
+	defer node.Close()
+	cache, _ := simsvc.NewCache(0, "")
+	coord := NewCoordinator(node, CoordinatorConfig{Cache: cache, MaxRetries: 1})
+	var observed atomic.Uint64
+	coord.OnLocalCell = func(string, *stats.Counters) { observed.Add(1) }
+
+	e := figure(t, "fig11")
+	windows := []int{4}
+	gotOut, _ := e.Run(harness.QuickSizes, windows, coord.Runner())
+	wantOut, _ := e.Run(harness.QuickSizes, windows, harness.RunSerial)
+	if gotOut != wantOut {
+		t.Errorf("all-dead fallback differs from serial:\n%s", gotOut)
+	}
+
+	snap := node.Metrics().Snapshot()
+	if snap.Local == 0 {
+		t.Error("no cells ran inline although the whole cluster is dead")
+	}
+	if len(snap.Routed) != 0 {
+		t.Errorf("cells recorded as routed to a dead cluster: %v", snap.Routed)
+	}
+	if observed.Load() != snap.Local {
+		t.Errorf("OnLocalCell saw %d cells, metrics counted %d", observed.Load(), snap.Local)
+	}
+}
+
+// TestCoordinatorPeerFill is the repeat-sweep scenario: a second
+// coordinator with a cold cache re-runs a sweep the cluster already
+// computed, and every cell arrives via the peer-fill tier — no job is
+// submitted, no cell recomputed.
+func TestCoordinatorPeerFill(t *testing.T) {
+	w1, pool1 := newWorker(t)
+
+	// First pass: a coordinator computes the sweep through w1, which
+	// caches every cell it executed.
+	node1 := NewNode("", []string{w1.URL}, NodeConfig{})
+	defer node1.Close()
+	cache1, _ := simsvc.NewCache(0, "")
+	coord1 := NewCoordinator(node1, CoordinatorConfig{Cache: cache1})
+	e := figure(t, "fig11")
+	windows := []int{4}
+	wantOut, _ := e.Run(harness.QuickSizes, windows, coord1.Runner())
+	jobsAfterFirst := pool1.Metrics().JobsDone
+
+	// Second pass: a fresh coordinator, cold local cache, peer-fill
+	// tier pointed at the same worker.
+	node2 := NewNode("", []string{w1.URL}, NodeConfig{})
+	defer node2.Close()
+	cache2, _ := simsvc.NewCache(0, "")
+	cache2.SetRemote(node2.PeerCache())
+	coord2 := NewCoordinator(node2, CoordinatorConfig{Cache: cache2})
+	gotOut, _ := e.Run(harness.QuickSizes, windows, coord2.Runner())
+	if gotOut != wantOut {
+		t.Errorf("peer-filled sweep differs from the computed one:\n%s", gotOut)
+	}
+
+	stats2 := cache2.Stats()
+	if stats2.PeerHits == 0 {
+		t.Error("repeat sweep produced no peer fills")
+	}
+	snap2 := node2.Metrics().Snapshot()
+	if snap2.PeerFills != stats2.PeerHits {
+		t.Errorf("node counted %d peer fills, cache counted %d", snap2.PeerFills, stats2.PeerHits)
+	}
+	if len(snap2.Routed) != 0 || snap2.Local != 0 {
+		t.Errorf("repeat sweep executed cells (routed=%v local=%d) instead of peer-filling", snap2.Routed, snap2.Local)
+	}
+	if after := pool1.Metrics().JobsDone; after != jobsAfterFirst {
+		t.Errorf("repeat sweep ran %d new jobs on the worker, want 0 (recompute must not happen)", after-jobsAfterFirst)
+	}
+
+	// A key nobody holds is a clean miss, counted as such.
+	if _, ok := cache2.Get("deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"); ok {
+		t.Error("an unknown hash peer-filled from somewhere")
+	}
+	if snap := node2.Metrics().Snapshot(); snap.PeerMisses == 0 {
+		t.Error("the unknown hash was not counted as a peer miss")
+	}
+}
+
+// TestTerminalTaxonomy pins which failures end routing (deterministic
+// or budget-exhausting outcomes) versus which move to the next ring
+// owner (transport errors, sick-worker 5xx).
+func TestTerminalTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&simsvc.APIError{StatusCode: 422}, true},  // guest fault: deterministic
+		{&simsvc.APIError{StatusCode: 429}, true},  // saturation: backoff budget already spent
+		{&simsvc.APIError{StatusCode: 504}, true},  // timeout: ditto
+		{&simsvc.APIError{StatusCode: 400}, true},  // spec error: deterministic
+		{&simsvc.APIError{StatusCode: 500}, false}, // sick worker: re-route
+		{&simsvc.APIError{StatusCode: 503}, false}, // sick worker: re-route
+		{errors.New("connection refused"), false},  // transport: re-route
+	}
+	for _, tc := range cases {
+		if got := terminal(tc.err); got != tc.want {
+			t.Errorf("terminal(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

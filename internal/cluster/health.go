@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultFailThreshold is the number of consecutive failures after
+// which a member is marked unhealthy and routed around.
+const DefaultFailThreshold = 3
+
+// Health tracks per-member liveness from probe and request outcomes. A
+// member starts healthy, becomes unhealthy after threshold consecutive
+// failures, and recovers on the first success. Transitions invoke the
+// onChange callback (outside the lock) so the owner can rebuild its
+// routing ring.
+type Health struct {
+	mu        sync.Mutex
+	threshold int
+	states    map[string]*memberHealth
+	onChange  func()
+}
+
+type memberHealth struct {
+	healthy  bool
+	consec   int // consecutive failures
+	probes   uint64
+	failures uint64
+}
+
+// MemberHealth is a point-in-time view of one member's liveness.
+type MemberHealth struct {
+	Member   string `json:"member"`
+	Healthy  bool   `json:"healthy"`
+	Consec   int    `json:"consecutive_failures"`
+	Probes   uint64 `json:"probes"`
+	Failures uint64 `json:"failures"`
+}
+
+// NewHealth creates a tracker; threshold <= 0 means
+// DefaultFailThreshold. onChange (may be nil) fires after any
+// healthy/unhealthy transition.
+func NewHealth(threshold int, onChange func()) *Health {
+	if threshold <= 0 {
+		threshold = DefaultFailThreshold
+	}
+	return &Health{threshold: threshold, states: make(map[string]*memberHealth), onChange: onChange}
+}
+
+func (h *Health) state(member string) *memberHealth {
+	s, ok := h.states[member]
+	if !ok {
+		s = &memberHealth{healthy: true}
+		h.states[member] = s
+	}
+	return s
+}
+
+// Ensure registers a member (initially healthy) if unknown.
+func (h *Health) Ensure(member string) {
+	h.mu.Lock()
+	h.state(member)
+	h.mu.Unlock()
+}
+
+// Forget drops a member from the tracker.
+func (h *Health) Forget(member string) {
+	h.mu.Lock()
+	delete(h.states, member)
+	h.mu.Unlock()
+}
+
+// ReportSuccess records a successful probe or request; an unhealthy
+// member recovers immediately.
+func (h *Health) ReportSuccess(member string) {
+	h.mu.Lock()
+	s := h.state(member)
+	s.probes++
+	s.consec = 0
+	changed := !s.healthy
+	s.healthy = true
+	h.mu.Unlock()
+	if changed && h.onChange != nil {
+		h.onChange()
+	}
+}
+
+// ReportFailure records a failed probe or request; the member becomes
+// unhealthy once the consecutive-failure threshold is reached.
+func (h *Health) ReportFailure(member string) {
+	h.mu.Lock()
+	s := h.state(member)
+	s.probes++
+	s.failures++
+	s.consec++
+	changed := s.healthy && s.consec >= h.threshold
+	if changed {
+		s.healthy = false
+	}
+	h.mu.Unlock()
+	if changed && h.onChange != nil {
+		h.onChange()
+	}
+}
+
+// IsHealthy reports the member's current state (unknown members are
+// healthy: a member must prove itself dead, not alive, or a cluster
+// could never bootstrap).
+func (h *Health) IsHealthy(member string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.states[member]
+	return !ok || s.healthy
+}
+
+// Healthy filters the given members down to the healthy ones,
+// preserving order.
+func (h *Health) Healthy(members []string) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if s, ok := h.states[m]; !ok || s.healthy {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Snapshot returns every tracked member's state, sorted by name.
+func (h *Health) Snapshot() []MemberHealth {
+	h.mu.Lock()
+	out := make([]MemberHealth, 0, len(h.states))
+	for m, s := range h.states {
+		out = append(out, MemberHealth{Member: m, Healthy: s.healthy, Consec: s.consec, Probes: s.probes, Failures: s.failures})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
+	return out
+}

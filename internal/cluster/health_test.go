@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestHealthThreshold pins the K-consecutive-failures contract: a
+// member stays routable through K-1 failures, drops out on the Kth, and
+// one success brings it straight back.
+func TestHealthThreshold(t *testing.T) {
+	changes := 0
+	h := NewHealth(3, func() { changes++ })
+	h.Ensure("w1")
+
+	if !h.IsHealthy("w1") {
+		t.Fatal("fresh member must start healthy")
+	}
+	h.ReportFailure("w1")
+	h.ReportFailure("w1")
+	if !h.IsHealthy("w1") {
+		t.Fatal("2 of 3 failures must not mark the member unhealthy")
+	}
+	if changes != 0 {
+		t.Fatalf("onChange fired %d times before the threshold", changes)
+	}
+	h.ReportFailure("w1")
+	if h.IsHealthy("w1") {
+		t.Fatal("3rd consecutive failure must mark the member unhealthy")
+	}
+	if changes != 1 {
+		t.Fatalf("onChange fired %d times, want 1 (the unhealthy transition)", changes)
+	}
+
+	h.ReportSuccess("w1")
+	if !h.IsHealthy("w1") {
+		t.Fatal("one success must recover the member")
+	}
+	if changes != 2 {
+		t.Fatalf("onChange fired %d times, want 2 (the recovery too)", changes)
+	}
+
+	// Recovery resets the consecutive count: the next failure starts
+	// from zero again.
+	h.ReportFailure("w1")
+	h.ReportFailure("w1")
+	if !h.IsHealthy("w1") {
+		t.Fatal("the consecutive-failure count must reset on success")
+	}
+}
+
+// TestHealthInterleavedSuccess: successes between failures keep a flaky
+// member healthy forever — only consecutive failures count.
+func TestHealthInterleavedSuccess(t *testing.T) {
+	h := NewHealth(3, nil)
+	for i := 0; i < 10; i++ {
+		h.ReportFailure("w1")
+		h.ReportFailure("w1")
+		h.ReportSuccess("w1")
+	}
+	if !h.IsHealthy("w1") {
+		t.Fatal("interleaved successes must keep the member healthy")
+	}
+}
+
+// TestHealthyFilter: unknown members are healthy (optimism: a member we
+// never probed is routable), order is preserved, unhealthy ones drop.
+func TestHealthyFilter(t *testing.T) {
+	h := NewHealth(2, nil)
+	for i := 0; i < 2; i++ {
+		h.ReportFailure("w2")
+	}
+	got := h.Healthy([]string{"w1", "w2", "w3"})
+	if want := []string{"w1", "w3"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Healthy = %v, want %v", got, want)
+	}
+}
+
+// TestHealthSnapshot: the exported view carries the counters, sorted.
+func TestHealthSnapshot(t *testing.T) {
+	h := NewHealth(2, nil)
+	h.ReportSuccess("w2")
+	h.ReportFailure("w1")
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[0].Member != "w1" || snap[1].Member != "w2" {
+		t.Fatalf("Snapshot = %+v, want w1 then w2", snap)
+	}
+	if snap[0].Failures != 1 || !snap[0].Healthy {
+		t.Fatalf("w1 = %+v, want 1 failure and still healthy", snap[0])
+	}
+	if snap[1].Probes != 1 || !snap[1].Healthy {
+		t.Fatalf("w2 = %+v, want 1 probe and healthy", snap[1])
+	}
+}
+
+// TestHealthForget: a forgotten member reverts to the optimistic
+// default.
+func TestHealthForget(t *testing.T) {
+	h := NewHealth(1, nil)
+	h.ReportFailure("w1")
+	if h.IsHealthy("w1") {
+		t.Fatal("threshold 1: one failure must mark unhealthy")
+	}
+	h.Forget("w1")
+	if !h.IsHealthy("w1") {
+		t.Fatal("a forgotten member must be healthy again")
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// Metrics aggregates the cluster-level counters exposed as the
+// winsimd_cluster_* Prometheus families: how cells were answered
+// (routed to a worker, retried on another owner, run locally), how the
+// peer-fill cache tier behaved, and how often membership or health
+// changes rebuilt the routing ring. All methods are safe for concurrent
+// use; a nil *Metrics ignores every update.
+type Metrics struct {
+	mu sync.Mutex
+
+	routed  map[string]uint64 // successful remote cells by worker
+	retried uint64            // re-route attempts after a worker failure
+	local   uint64            // cells executed inline by the coordinator
+
+	peerFills  uint64 // cache misses answered by a peer
+	peerMisses uint64 // peer-fill probes that found nothing
+
+	rebalances uint64 // ring rebuilds (membership or health changes)
+	joins      uint64 // join announcements accepted
+}
+
+// MetricsSnapshot is the point-in-time JSON/exposition view.
+type MetricsSnapshot struct {
+	Routed     map[string]uint64 `json:"cells_routed"`
+	Retried    uint64            `json:"cells_retried"`
+	Local      uint64            `json:"cells_local"`
+	PeerFills  uint64            `json:"peer_fills"`
+	PeerMisses uint64            `json:"peer_misses"`
+	Rebalances uint64            `json:"ring_rebalances"`
+	Joins      uint64            `json:"joins"`
+}
+
+func (m *Metrics) cellRouted(worker string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.routed == nil {
+		m.routed = make(map[string]uint64)
+	}
+	m.routed[worker]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) cellRetried() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.retried++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) cellLocal() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.local++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) peerFill() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.peerFills++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) peerMiss() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.peerMisses++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) rebalanced() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.rebalances++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) joined() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.joins++
+	m.mu.Unlock()
+}
+
+// Snapshot clones the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{Routed: map[string]uint64{}}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		Routed:     make(map[string]uint64, len(m.routed)),
+		Retried:    m.retried,
+		Local:      m.local,
+		PeerFills:  m.peerFills,
+		PeerMisses: m.peerMisses,
+		Rebalances: m.rebalances,
+		Joins:      m.joins,
+	}
+	for w, n := range m.routed {
+		s.Routed[w] = n
+	}
+	return s
+}
+
+// workers lists the routed-to workers, sorted, for stable exposition.
+func (s MetricsSnapshot) workers() []string {
+	out := make([]string, 0, len(s.Routed))
+	for w := range s.Routed {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cyclicwin/internal/obs"
+	"cyclicwin/internal/simsvc"
+)
+
+// NodeConfig tunes a cluster member.
+type NodeConfig struct {
+	// Replicas is the virtual-node count per member (DefaultReplicas
+	// when <= 0).
+	Replicas int
+	// FailThreshold is K: consecutive failures before a member is
+	// unhealthy (DefaultFailThreshold when <= 0).
+	FailThreshold int
+	// ProbeInterval is the /healthz probe period (default 2s).
+	ProbeInterval time.Duration
+	// PeerTimeout bounds one peer-fill fetch or probe (default 5s).
+	PeerTimeout time.Duration
+	// PeerFanout is how many ring successors a peer-fill consults
+	// before giving up (default 3).
+	PeerFanout int
+	// Logf, when non-nil, receives membership and health transitions.
+	Logf func(format string, args ...any)
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = DefaultFailThreshold
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 5 * time.Second
+	}
+	if c.PeerFanout <= 0 {
+		c.PeerFanout = 3
+	}
+	return c
+}
+
+// Node is one cluster member: the membership set (static peers plus
+// dynamic joiners), per-member health, the routing ring over the
+// healthy members, and the cluster metrics. A winsimd worker owns one
+// Node; the winsim -cluster CLI owns an anonymous one (Self == "").
+type Node struct {
+	cfg     NodeConfig
+	self    string
+	health  *Health
+	metrics *Metrics
+	httpc   *http.Client
+
+	mu      sync.Mutex
+	members map[string]bool
+	ring    *Ring // over healthy members; nil when dirty
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	probing  sync.WaitGroup
+}
+
+// NewNode creates a member with the given advertised self URL (may be
+// empty for a client-only node) and initial peer list. Addresses are
+// normalized to include an http:// scheme.
+func NewNode(self string, peers []string, cfg NodeConfig) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		self:    NormalizeAddr(self),
+		metrics: &Metrics{},
+		httpc:   &http.Client{Timeout: cfg.PeerTimeout},
+		members: make(map[string]bool),
+		stop:    make(chan struct{}),
+	}
+	n.health = NewHealth(cfg.FailThreshold, func() {
+		n.invalidateRing()
+		n.metrics.rebalanced()
+	})
+	if n.self != "" {
+		n.members[n.self] = true
+	}
+	n.Add(peers...)
+	return n
+}
+
+// NormalizeAddr canonicalizes a member address: trims whitespace and
+// trailing slashes and defaults the scheme to http://, so the same
+// worker spelled "host:8091" and "http://host:8091/" is one member.
+func NormalizeAddr(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// Self returns the node's advertised URL ("" for client-only nodes).
+func (n *Node) Self() string { return n.self }
+
+// Metrics returns the node's cluster counters.
+func (n *Node) Metrics() *Metrics { return n.metrics }
+
+// Health returns the node's liveness tracker.
+func (n *Node) Health() *Health { return n.health }
+
+// Add registers members (normalized, duplicates ignored) and reports
+// whether the set changed.
+func (n *Node) Add(addrs ...string) bool {
+	changed := false
+	n.mu.Lock()
+	for _, a := range addrs {
+		a = NormalizeAddr(a)
+		if a == "" || n.members[a] {
+			continue
+		}
+		n.members[a] = true
+		changed = true
+		if n.cfg.Logf != nil {
+			n.cfg.Logf("cluster: member %s joined (now %d members)", a, len(n.members))
+		}
+	}
+	if changed {
+		n.ring = nil
+	}
+	n.mu.Unlock()
+	if changed {
+		n.metrics.rebalanced()
+	}
+	return changed
+}
+
+// Members returns the sorted member list (self included).
+func (n *Node) Members() []string {
+	n.mu.Lock()
+	out := make([]string, 0, len(n.members))
+	for m := range n.members {
+		out = append(out, m)
+	}
+	n.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+func (n *Node) invalidateRing() {
+	n.mu.Lock()
+	n.ring = nil
+	n.mu.Unlock()
+}
+
+// HealthyRing returns the ring over the currently healthy members
+// (rebuilt lazily after membership or health changes). The self member,
+// never probed, is always part of it.
+func (n *Node) HealthyRing() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ring == nil {
+		members := make([]string, 0, len(n.members))
+		for m := range n.members {
+			members = append(members, m)
+		}
+		sort.Strings(members)
+		n.ring = NewRing(n.cfg.Replicas, n.health.Healthy(members))
+	}
+	return n.ring
+}
+
+// StartProber begins periodic /healthz probing of every member except
+// self. Call Close to stop it.
+func (n *Node) StartProber() {
+	n.probing.Add(1)
+	go func() {
+		defer n.probing.Done()
+		t := time.NewTicker(n.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				n.probeAll()
+			}
+		}
+	}()
+}
+
+func (n *Node) probeAll() {
+	for _, m := range n.Members() {
+		if m == n.self {
+			continue
+		}
+		n.Probe(m)
+	}
+}
+
+// Probe checks one member's /healthz and feeds the outcome into the
+// health tracker. A degraded (503) response still proves liveness, so
+// it counts as success for routing purposes.
+func (n *Node) Probe(member string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
+	defer cancel()
+	cl := &simsvc.Client{BaseURL: member, HTTPClient: n.httpc}
+	was := n.health.IsHealthy(member)
+	_, _, err := cl.Health(ctx)
+	if err != nil {
+		n.health.ReportFailure(member)
+		if was && !n.health.IsHealthy(member) && n.cfg.Logf != nil {
+			n.cfg.Logf("cluster: member %s marked unhealthy: %v", member, err)
+		}
+		return false
+	}
+	n.health.ReportSuccess(member)
+	if !was && n.cfg.Logf != nil {
+		n.cfg.Logf("cluster: member %s recovered", member)
+	}
+	return true
+}
+
+// Close stops the prober.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.probing.Wait()
+}
+
+// --- join protocol -----------------------------------------------------
+
+// joinRequest is the body of POST /v1/cluster/join.
+type joinRequest struct {
+	Addr string `json:"addr"`
+}
+
+// joinResponse (also the GET /v1/cluster/members body) returns the
+// receiver's current member list, so joiners learn the whole cluster
+// from any one member and membership spreads with every heartbeat.
+type joinResponse struct {
+	Members []string `json:"members"`
+}
+
+// HandleJoin serves POST /v1/cluster/join: registers the announced
+// address and returns the full member list.
+func (n *Node) HandleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":"bad join body: %v"}`, err), http.StatusBadRequest)
+		return
+	}
+	if NormalizeAddr(req.Addr) == "" {
+		http.Error(w, `{"error":"join requires a non-empty addr"}`, http.StatusBadRequest)
+		return
+	}
+	n.Add(req.Addr)
+	n.metrics.joined()
+	n.writeMembers(w)
+}
+
+// HandleMembers serves GET /v1/cluster/members.
+func (n *Node) HandleMembers(w http.ResponseWriter, _ *http.Request) {
+	n.writeMembers(w)
+}
+
+func (n *Node) writeMembers(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(joinResponse{Members: n.Members()})
+}
+
+// JoinLoop announces self to the coordinator every interval until Close
+// (the first announcement happens immediately). Each response's member
+// list is merged into the local set, so membership gossips through the
+// join coordinator without a separate protocol. Announcing is
+// best-effort: an unreachable coordinator only delays discovery.
+func (n *Node) JoinLoop(coordinator string, interval time.Duration) {
+	coordinator = NormalizeAddr(coordinator)
+	if coordinator == "" || n.self == "" {
+		return
+	}
+	if interval <= 0 {
+		interval = n.cfg.ProbeInterval
+	}
+	n.probing.Add(1)
+	go func() {
+		defer n.probing.Done()
+		n.Add(coordinator)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			n.announce(coordinator)
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+func (n *Node) announce(coordinator string) {
+	body, _ := json.Marshal(joinRequest{Addr: n.self})
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinator+"/v1/cluster/join", strings.NewReader(string(body)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.httpc.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var jr joinResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr); err != nil {
+		return
+	}
+	n.Add(jr.Members...)
+}
+
+// Discover asks one member for the cluster's member list — how `winsim
+// -cluster <addr>` expands a single seed address into the whole
+// cluster.
+func Discover(addr string, timeout time.Duration) ([]string, error) {
+	addr = NormalizeAddr(addr)
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/cluster/members", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s returned %d for /v1/cluster/members", addr, resp.StatusCode)
+	}
+	var jr joinResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("cluster: decoding member list from %s: %w", addr, err)
+	}
+	return jr.Members, nil
+}
+
+// --- exposition --------------------------------------------------------
+
+// WritePrometheus renders the winsimd_cluster_* families: membership
+// and per-member health, cell routing outcomes, peer-fill counters and
+// ring rebalances. winsimd appends it to the /metrics exposition.
+func (n *Node) WritePrometheus(w io.Writer) error {
+	snap := n.metrics.Snapshot()
+	health := n.health.Snapshot()
+	members := n.Members()
+
+	pw := obs.NewWriter(w)
+	pw.Header("winsimd_cluster_members", "Known cluster members (1 = healthy, 0 = unhealthy).", "gauge")
+	for _, m := range members {
+		v := 0.0
+		if n.health.IsHealthy(m) {
+			v = 1
+		}
+		pw.Sample("winsimd_cluster_members", obs.L("member", m), v)
+	}
+	pw.Header("winsimd_cluster_probe_failures_total", "Failed health probes or requests, by member.", "counter")
+	for _, h := range health {
+		pw.Sample("winsimd_cluster_probe_failures_total", obs.L("member", h.Member), float64(h.Failures))
+	}
+	pw.Header("winsimd_cluster_cells_routed_total", "Sweep cells answered by a remote worker, by worker.", "counter")
+	for _, worker := range snap.workers() {
+		pw.Sample("winsimd_cluster_cells_routed_total", obs.L("worker", worker), float64(snap.Routed[worker]))
+	}
+	pw.Header("winsimd_cluster_cells_retried_total", "Cells re-routed to another owner after a worker failure.", "counter")
+	pw.Sample("winsimd_cluster_cells_retried_total", nil, float64(snap.Retried))
+	pw.Header("winsimd_cluster_cells_local_total", "Cells executed inline by the coordinating node.", "counter")
+	pw.Sample("winsimd_cluster_cells_local_total", nil, float64(snap.Local))
+	pw.Header("winsimd_cluster_peer_fills_total", "Cache misses answered by a peer's cache.", "counter")
+	pw.Sample("winsimd_cluster_peer_fills_total", nil, float64(snap.PeerFills))
+	pw.Header("winsimd_cluster_peer_misses_total", "Peer-fill probes that found no cached result.", "counter")
+	pw.Sample("winsimd_cluster_peer_misses_total", nil, float64(snap.PeerMisses))
+	pw.Header("winsimd_cluster_ring_rebalances_total", "Routing-ring rebuilds from membership or health changes.", "counter")
+	pw.Sample("winsimd_cluster_ring_rebalances_total", nil, float64(snap.Rebalances))
+	pw.Header("winsimd_cluster_joins_total", "Join announcements accepted by this node.", "counter")
+	pw.Sample("winsimd_cluster_joins_total", nil, float64(snap.Joins))
+	return pw.Err()
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"cyclicwin/internal/simsvc"
+)
+
+// PeerCache is the HTTP peer-fill backend of the remote cache tier: a
+// simsvc.RemoteCache that answers a local miss by asking the healthy
+// ring successors of the key — owner first, because consistent hashing
+// makes the owner the member most likely to have computed the cell —
+// via GET /v1/cache/{hash}. Peers serve only their local tiers (memory
+// and disk), so two peers missing the same key can never recurse into
+// each other.
+type PeerCache struct {
+	node *Node
+}
+
+// PeerCache returns the node's peer-fill backend, suitable for
+// simsvc.(*Cache).SetRemote.
+func (n *Node) PeerCache() *PeerCache { return &PeerCache{node: n} }
+
+// Fetch implements simsvc.RemoteCache.
+func (pc *PeerCache) Fetch(ctx context.Context, key string) (*simsvc.JobResult, bool) {
+	n := pc.node
+	ring := n.HealthyRing()
+	probed := 0
+	for _, peer := range ring.Successors(key, ring.Len()) {
+		if peer == n.self {
+			continue // the local tiers already missed
+		}
+		if probed >= n.cfg.PeerFanout {
+			break
+		}
+		probed++
+		if res, ok := pc.fetchFrom(ctx, peer, key); ok {
+			n.metrics.peerFill()
+			return res, true
+		}
+	}
+	if probed > 0 {
+		n.metrics.peerMiss()
+	}
+	return nil, false
+}
+
+func (pc *PeerCache) fetchFrom(ctx context.Context, peer, key string) (*simsvc.JobResult, bool) {
+	ctx, cancel := context.WithTimeout(ctx, pc.node.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := pc.node.httpc.Do(req)
+	if err != nil {
+		// A dead peer shows up here before the prober notices; feed the
+		// tracker so routing reacts at request speed, not probe speed.
+		pc.node.health.ReportFailure(peer)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var res simsvc.JobResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}

@@ -1,0 +1,151 @@
+// Package cluster scales internal/simsvc beyond one node: a
+// coordinator/worker subsystem that splits harness sweeps into per-cell
+// JobSpecs, routes each cell to one of N winsimd workers via consistent
+// hashing on the spec's SHA-256 content hash, and merges the results
+// byte-identically to the serial path.
+//
+// The pieces compose from the bottom up:
+//
+//   - Ring: a deterministic consistent-hash ring with virtual nodes.
+//     Two processes given the same member list build the same ring and
+//     route every key identically, so a worker can predict which peers
+//     most likely hold a cached cell without any coordination traffic.
+//   - Health: per-member failure accounting; a member becomes unhealthy
+//     after K consecutive failures and healthy again on one success.
+//   - Node: a cluster member — membership (static -peers plus dynamic
+//     /v1/cluster/join), a health prober, the peer-fill remote cache
+//     tier, and the winsimd_cluster_* Prometheus families.
+//   - Coordinator: a harness.Runner that fans sweep cells out across
+//     the healthy members, retries routable failures on the next owner,
+//     and falls back to running a cell inline so a sweep always
+//     completes even with every worker dead.
+//
+// Simulations are pure functions of their spec, which keeps the whole
+// design sound: any owner computes the same bytes, so re-routing after
+// a failure and peer-filling from any cache can never change a result.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultReplicas is the number of virtual nodes per member. 64 points
+// per member keeps the expected imbalance across a handful of workers
+// within a few percent while the ring stays tiny.
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring: members are mapped onto a
+// 64-bit circle at Replicas points each, and a key is owned by the
+// first member point at or after the key's position. The construction
+// uses only SHA-256 over member names and indices, so rings built in
+// different processes from the same member list agree on every route —
+// the property the peer-fill cache and the property tests pin.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by pos
+	members  []string    // sorted unique
+}
+
+type ringPoint struct {
+	pos    uint64
+	member string
+}
+
+// ringPos hashes a string onto the circle.
+func ringPos(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// NewRing builds the ring over the given members (duplicates ignored,
+// order irrelevant). replicas <= 0 means DefaultReplicas.
+func NewRing(replicas int, members []string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	var uniq []string
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, members: uniq}
+	r.points = make([]ringPoint, 0, replicas*len(uniq))
+	var buf [8]byte
+	for _, m := range uniq {
+		for i := 0; i < replicas; i++ {
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			h := sha256.New()
+			h.Write([]byte("cluster-vnode|"))
+			h.Write([]byte(m))
+			h.Write([]byte("|"))
+			h.Write(buf[:])
+			sum := h.Sum(nil)
+			r.points = append(r.points, ringPoint{binary.BigEndian.Uint64(sum[:8]), m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// A full SHA-256 collision on the top 8 bytes is vanishingly
+		// rare; break ties by member name so the order stays total and
+		// deterministic anyway.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the sorted member list.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member owning the key, or false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if r == nil || len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.at(key)].member, true
+}
+
+// at locates the first point at or after the key's position (wrapping).
+func (r *Ring) at(key string) int {
+	pos := ringPos(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner — the preference order for routing and for peer-fill
+// probing (the owner most likely holds the cached cell; the members
+// after it inherit its segment when it dies).
+func (r *Ring) Successors(key string, n int) []string {
+	if r == nil || len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.at(key); i < len(r.points) && len(out) < n; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossConstruction pins that member order (and
+// duplicates) cannot change routing: every permutation of the member
+// list builds a ring that owns every key identically.
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	members := []string{"http://w1:8091", "http://w2:8092", "http://w3:8093", "http://w4:8094"}
+	base := NewRing(64, members)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		shuffled = append(shuffled, shuffled[0]) // duplicates are ignored
+		other := NewRing(64, shuffled)
+		for _, k := range keys(500) {
+			want, _ := base.Owner(k)
+			got, _ := other.Owner(k)
+			if got != want {
+				t.Fatalf("trial %d: Owner(%q) = %q, want %q", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingGoldenOwners pins the exact routing function. Two processes
+// (a worker predicting where a peer cached a cell, and the peer that
+// cached it) must agree without communicating, so the owner of a key is
+// part of the wire contract — these values may never change.
+func TestRingGoldenOwners(t *testing.T) {
+	r := NewRing(64, []string{"http://w1:8091", "http://w2:8092", "http://w3:8093"})
+	golden := map[string]string{
+		"alpha":   "http://w1:8091",
+		"bravo":   "http://w1:8091",
+		"charlie": "http://w3:8093",
+		"delta":   "http://w2:8092",
+		"echo":    "http://w1:8091",
+	}
+	for k, want := range golden {
+		if got, _ := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, want %q (the routing function is a cross-process contract)", k, got, want)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyOwnedKeys is the consistent-hashing property:
+// removing one of N members re-routes exactly the keys it owned (about
+// 1/N of them) and no others.
+func TestRingRemoveMovesOnlyOwnedKeys(t *testing.T) {
+	members := []string{"http://w1:8091", "http://w2:8092", "http://w3:8093", "http://w4:8094"}
+	full := NewRing(64, members)
+	reduced := NewRing(64, members[:3])
+	removed := members[3]
+
+	const n = 2000
+	moved := 0
+	for _, k := range keys(n) {
+		was, _ := full.Owner(k)
+		now, _ := reduced.Owner(k)
+		if was == removed {
+			moved++
+			continue
+		}
+		if now != was {
+			t.Fatalf("key %q moved %q -> %q although its owner survived", k, was, now)
+		}
+	}
+	// E[moved] = n/4 = 500. With 64 vnodes per member the imbalance
+	// stays well inside [0.15, 0.35].
+	if frac := float64(moved) / n; frac < 0.15 || frac > 0.35 {
+		t.Errorf("removing 1 of 4 members moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestRingAddMovesAboutOneNth is the dual property for growth: adding a
+// member steals ~1/N of the keys, all of them to the new member.
+func TestRingAddMovesAboutOneNth(t *testing.T) {
+	members := []string{"http://w1:8091", "http://w2:8092", "http://w3:8093"}
+	before := NewRing(64, members)
+	after := NewRing(64, append(append([]string(nil), members...), "http://w4:8094"))
+
+	const n = 2000
+	moved := 0
+	for _, k := range keys(n) {
+		was, _ := before.Owner(k)
+		now, _ := after.Owner(k)
+		if now == was {
+			continue
+		}
+		if now != "http://w4:8094" {
+			t.Fatalf("key %q moved %q -> %q, but only the new member may steal keys", k, was, now)
+		}
+		moved++
+	}
+	if frac := float64(moved) / n; frac < 0.15 || frac > 0.35 {
+		t.Errorf("adding a 4th member moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestRingSuccessors pins the peer-probe order: distinct members, owner
+// first, bounded by both n and the member count.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(64, []string{"a", "b", "c"})
+	for _, k := range keys(50) {
+		owner, _ := r.Owner(k)
+		succ := r.Successors(k, 10)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 10) = %v, want all 3 members", k, succ)
+		}
+		if succ[0] != owner {
+			t.Fatalf("Successors(%q)[0] = %q, want the owner %q", k, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("Successors(%q) = %v contains a duplicate", k, succ)
+			}
+			seen[m] = true
+		}
+	}
+	if got := r.Successors("x", 2); len(got) != 2 {
+		t.Fatalf("Successors(x, 2) = %v, want 2 members", got)
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(64, nil)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if s := empty.Successors("k", 3); s != nil {
+		t.Fatalf("empty ring Successors = %v, want nil", s)
+	}
+	single := NewRing(64, []string{"only"})
+	for _, k := range keys(20) {
+		if o, ok := single.Owner(k); !ok || o != "only" {
+			t.Fatalf("Owner(%q) = %q,%v on a single-member ring", k, o, ok)
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread load: no member of a
+// 4-ring owns less than half or more than double its fair share.
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://w1:8091", "http://w2:8092", "http://w3:8093", "http://w4:8094"}
+	r := NewRing(64, members)
+	counts := map[string]int{}
+	const n = 4000
+	for _, k := range keys(n) {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	fair := n / len(members)
+	for m, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("member %s owns %d of %d keys (fair share %d): imbalance beyond 2x", m, c, n, fair)
+		}
+	}
+}

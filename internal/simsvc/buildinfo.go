@@ -1,0 +1,28 @@
+package simsvc
+
+import "runtime/debug"
+
+// Version identifies the build on /metrics (winsimd_build_info) and in
+// version output. Release builds override it at link time:
+//
+//	go build -ldflags "-X cyclicwin/internal/simsvc.Version=v1.2.3"
+var Version = "dev"
+
+// Commit returns the VCS revision the binary was built from, shortened
+// to 12 hex digits, or "unknown" for builds outside a checkout (or with
+// buildvcs disabled).
+func Commit() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "unknown"
+}

@@ -2,6 +2,7 @@ package simsvc
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,11 +11,24 @@ import (
 	"sync"
 )
 
+// RemoteCache is a pluggable third cache tier consulted after memory
+// and disk both miss — internal/cluster provides an HTTP peer-fill
+// backend over GET /v1/cache/{hash}, so any node can serve any cached
+// cell before anyone recomputes it. Fetch returns the result and true
+// on a remote hit; implementations must be safe for concurrent use and
+// should bound their own latency (a slow remote tier stalls a cache
+// miss, never a hit).
+type RemoteCache interface {
+	Fetch(ctx context.Context, key string) (*JobResult, bool)
+}
+
 // Cache is the content-addressed result store: an in-memory LRU over
 // spec hashes, optionally backed by a directory of one JSON file per
 // entry so results survive restarts and can be shared between the CLI
-// and the daemon. Simulations are deterministic, so entries never
-// expire; eviction is purely a memory bound.
+// and the daemon, and optionally by a RemoteCache tier (peer fill) so
+// results computed anywhere in a cluster are served everywhere.
+// Simulations are deterministic, so entries never expire; eviction is
+// purely a memory bound.
 //
 // The write discipline is single-writer-per-key by construction (a key
 // is the hash of the job that produced the value, and any two writers
@@ -28,8 +42,11 @@ type Cache struct {
 	entries map[string]*list.Element
 	dir     string
 
+	remote RemoteCache // optional peer-fill tier under memory and disk
+
 	hits     uint64 // in-memory hits
 	diskHits uint64 // misses answered by the disk store
+	peerHits uint64 // misses answered by the remote tier
 	misses   uint64
 }
 
@@ -63,9 +80,35 @@ func NewCache(max int, dir string) (*Cache, error) {
 	}, nil
 }
 
-// Get returns the cached result for the key, consulting memory first
-// and then the disk store. Disk hits are promoted into memory.
+// SetRemote installs the peer-fill tier consulted by Get after memory
+// and disk both miss. Configure it before the cache is shared across
+// goroutines.
+func (c *Cache) SetRemote(rc RemoteCache) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.remote = rc
+	c.mu.Unlock()
+}
+
+// Get returns the cached result for the key, consulting memory, then
+// the disk store, then the remote peer-fill tier. Disk and peer hits
+// are promoted into memory (and peer hits written through to disk), so
+// a cell fetched once keeps being served locally.
 func (c *Cache) Get(key string) (*JobResult, bool) {
+	return c.get(key, true)
+}
+
+// GetLocal is Get restricted to the local tiers (memory and disk). It
+// backs the GET /v1/cache/{hash} peer-fill endpoint: a peer answering a
+// peer must never consult its own remote tier, or two nodes missing the
+// same key would chase each other forever.
+func (c *Cache) GetLocal(key string) (*JobResult, bool) {
+	return c.get(key, false)
+}
+
+func (c *Cache) get(key string, allowRemote bool) (*JobResult, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -77,6 +120,7 @@ func (c *Cache) Get(key string) (*JobResult, bool) {
 		c.mu.Unlock()
 		return v, true
 	}
+	remote := c.remote
 	c.mu.Unlock()
 
 	if v, ok := c.loadDisk(key); ok {
@@ -85,6 +129,17 @@ func (c *Cache) Get(key string) (*JobResult, bool) {
 		c.insertLocked(key, v)
 		c.mu.Unlock()
 		return v, true
+	}
+
+	if allowRemote && remote != nil {
+		if v, ok := remote.Fetch(context.Background(), key); ok && v != nil {
+			c.mu.Lock()
+			c.peerHits++
+			c.insertLocked(key, v)
+			c.mu.Unlock()
+			c.storeDisk(key, v)
+			return v, true
+		}
 	}
 
 	c.mu.Lock()
@@ -139,7 +194,12 @@ func (c *Cache) loadDisk(key string) (*JobResult, bool) {
 	}
 	var v JobResult
 	if err := json.Unmarshal(data, &v); err != nil {
-		return nil, false // corrupt entry: treat as miss, it will be rewritten
+		// A truncated or corrupt entry (interrupted writer, disk fault)
+		// is a miss, and the broken file is deleted immediately: leaving
+		// it would re-parse the garbage on every lookup, and a later
+		// recompute rewrites the entry cleanly anyway.
+		_ = os.Remove(path)
+		return nil, false
 	}
 	return &v, true
 }
@@ -167,16 +227,18 @@ type CacheStats struct {
 	Entries  int    `json:"entries"`
 	Hits     uint64 `json:"hits"`      // in-memory hits
 	DiskHits uint64 `json:"disk_hits"` // served from the disk store
+	PeerHits uint64 `json:"peer_hits"` // served by the remote peer-fill tier
 	Misses   uint64 `json:"misses"`
 }
 
-// HitRatio is (hits+disk hits) / lookups, 0 with no lookups.
+// HitRatio is (hits+disk hits+peer hits) / lookups, 0 with no lookups.
 func (s CacheStats) HitRatio() float64 {
-	total := s.Hits + s.DiskHits + s.Misses
+	served := s.Hits + s.DiskHits + s.PeerHits
+	total := served + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.DiskHits) / float64(total)
+	return float64(served) / float64(total)
 }
 
 // Stats returns a snapshot of the counters.
@@ -190,6 +252,7 @@ func (c *Cache) Stats() CacheStats {
 		Entries:  c.ll.Len(),
 		Hits:     c.hits,
 		DiskHits: c.diskHits,
+		PeerHits: c.peerHits,
 		Misses:   c.misses,
 	}
 }

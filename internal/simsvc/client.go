@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -33,7 +34,8 @@ type Client struct {
 	// negative delay panics the jitter draw.
 	MaxBackoff time.Duration
 
-	rng *rand.Rand
+	rngMu sync.Mutex // rand.Rand is not goroutine-safe; Submit is
+	rng   *rand.Rand
 }
 
 // NewClient returns a Client with the default retry policy.
@@ -45,6 +47,15 @@ func NewClient(baseURL string) *Client {
 		MaxBackoff:  30 * time.Second,
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+}
+
+// SeedJitter replaces the jitter source with a deterministically seeded
+// one, making the backoff schedule reproducible — for tests, and for
+// anyone who needs to audit a retry trace.
+func (c *Client) SeedJitter(seed int64) {
+	c.rngMu.Lock()
+	c.rng = rand.New(rand.NewSource(seed))
+	c.rngMu.Unlock()
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -64,6 +75,12 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("simsvc: server returned %d: %s", e.StatusCode, e.Message)
 }
 
+// Transient reports whether the status names a condition worth
+// retrying (what the client's own backoff loop uses); callers routing
+// across workers use it to tell sick-server answers from deterministic
+// ones.
+func (e *APIError) Transient() bool { return retryable(e.StatusCode) }
+
 // retryable reports whether a status code names a transient condition.
 func retryable(code int) bool {
 	switch code {
@@ -75,8 +92,17 @@ func retryable(code int) bool {
 }
 
 // backoff computes the delay before attempt n (0-based): exponential
-// growth capped at MaxBackoff, full jitter over [0, delay], and the
+// growth capped at MaxBackoff, ±20% jitter around the delay, and the
 // server's Retry-After hint as a lower bound.
+//
+// The jitter is multiplicative on purpose. Full jitter over [0, delay]
+// let a draw land near zero, so N workers that failed together could
+// all retry almost immediately — and every draw that collapsed the
+// delay re-synchronized part of the herd against a recovering peer.
+// Scaling the deterministic schedule by [0.8, 1.2] keeps the spacing of
+// the exponential schedule (attempt k always waits ~2x attempt k-1)
+// while spreading any group of simultaneous failures over a 40% window
+// that widens with every doubling.
 func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	base := c.BaseBackoff
 	if base <= 0 {
@@ -95,9 +121,11 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	if attempt < 63 && base <= ceiling>>uint(attempt) {
 		d = base << uint(attempt)
 	}
+	c.rngMu.Lock()
 	if c.rng != nil {
-		d = time.Duration(c.rng.Int63n(int64(d) + 1)) // full jitter
+		d = time.Duration(float64(d) * (0.8 + 0.4*c.rng.Float64()))
 	}
+	c.rngMu.Unlock()
 	if d < retryAfter {
 		d = retryAfter
 	}

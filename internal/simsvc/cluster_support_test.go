@@ -1,0 +1,225 @@
+package simsvc
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheTruncatedDiskEntryDeleted is the regression test for
+// truncated disk entries: a partially written file must read as a miss
+// and be deleted — not re-parsed as garbage on every later lookup.
+func TestCacheTruncatedDiskEntryDeleted(t *testing.T) {
+	dir := t.TempDir()
+	key := "abc123"
+
+	c1, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put(key, &JobResult{Spec: JobSpec{Experiment: ExperimentCell}})
+	path := filepath.Join(dir, key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("Put did not write the disk entry: %v", err)
+	}
+
+	// Truncate mid-JSON, as an interrupted writer without the
+	// write-then-rename discipline (or a disk fault) would leave it.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(0, dir) // fresh cache: no in-memory copy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("a truncated disk entry was served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("the corrupt entry was not deleted (stat err: %v)", err)
+	}
+	if s := c2.Stats(); s.Misses != 1 || s.DiskHits != 0 {
+		t.Errorf("stats = %+v, want exactly one miss", s)
+	}
+
+	// The slot is fully recovered: a recompute stores cleanly.
+	c2.Put(key, &JobResult{Spec: JobSpec{Experiment: ExperimentCell}})
+	c3, _ := NewCache(0, dir)
+	if _, ok := c3.Get(key); !ok {
+		t.Fatal("the rewritten entry does not load")
+	}
+}
+
+// fakeRemote is a scripted RemoteCache tier.
+type fakeRemote struct {
+	mu      sync.Mutex
+	entries map[string]*JobResult
+	fetches int
+}
+
+func (f *fakeRemote) Fetch(_ context.Context, key string) (*JobResult, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fetches++
+	v, ok := f.entries[key]
+	return v, ok
+}
+
+// TestCacheRemoteTier: a remote hit is served, promoted into memory and
+// written through to disk; GetLocal never consults the remote tier.
+func TestCacheRemoteTier(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &JobResult{Spec: JobSpec{Experiment: ExperimentCell, Scheme: "NS"}}
+	remote := &fakeRemote{entries: map[string]*JobResult{"k1": want}}
+	c.SetRemote(remote)
+
+	// GetLocal must stay local even with a remote configured — the
+	// peer-fill endpoint must not recurse into peers of peers.
+	if _, ok := c.GetLocal("k1"); ok {
+		t.Fatal("GetLocal consulted the remote tier")
+	}
+	if remote.fetches != 0 {
+		t.Fatalf("GetLocal triggered %d remote fetches", remote.fetches)
+	}
+
+	got, ok := c.Get("k1")
+	if !ok || got.Spec.Scheme != "NS" {
+		t.Fatalf("Get(k1) = %+v,%v, want the remote entry", got, ok)
+	}
+	if s := c.Stats(); s.PeerHits != 1 {
+		t.Fatalf("stats = %+v, want one peer hit", s)
+	}
+
+	// Promoted: the second lookup is a memory hit, no remote traffic.
+	before := remote.fetches
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if remote.fetches != before {
+		t.Error("a promoted entry was re-fetched from the remote tier")
+	}
+	// Written through: a fresh cache over the same dir hits disk.
+	c2, _ := NewCache(0, dir)
+	if _, ok := c2.Get("k1"); !ok {
+		t.Error("a peer-filled entry was not written through to disk")
+	}
+
+	// A remote miss is a plain miss.
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("Get(k2) hit although no tier holds it")
+	}
+}
+
+// TestBackoffJitterBounds pins the ±20% multiplicative jitter: every
+// delay lands in [0.8, 1.2] × the deterministic schedule, never at the
+// near-zero values full jitter allowed.
+func TestBackoffJitterBounds(t *testing.T) {
+	c := &Client{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 30 * time.Second}
+	c.SeedJitter(42)
+	for attempt := 0; attempt <= 12; attempt++ {
+		base := c.BaseBackoff << uint(attempt)
+		if base > c.MaxBackoff {
+			base = c.MaxBackoff
+		}
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		for i := 0; i < 50; i++ {
+			if d := c.backoff(attempt, 0); d < lo || d > hi {
+				t.Fatalf("backoff(%d) = %v, want within [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+	// The Retry-After hint stays a floor over the jittered value.
+	if d := c.backoff(0, time.Second); d < time.Second {
+		t.Fatalf("backoff ignored the Retry-After floor: %v", d)
+	}
+}
+
+// TestBackoffJitterDeterministic: two identically seeded clients
+// produce the same schedule (the audit/replay property SeedJitter
+// exists for), and different seeds diverge.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		c := &Client{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 30 * time.Second}
+		c.SeedJitter(seed)
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = c.backoff(i%6, 0)
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedules diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestClientSubmitConcurrent hammers one shared Client from many
+// goroutines while the server forces retries, so the race detector can
+// see the jitter RNG being shared across concurrent backoff draws.
+func TestClientSubmitConcurrent(t *testing.T) {
+	var reqs atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every other request is shed, so roughly half the submissions
+		// go through the retry + backoff path.
+		if reqs.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"saturated"}`)
+			return
+		}
+		fmt.Fprint(w, `{"jobs":[{"id":"j1","status":"done"}]}`)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 4 * time.Millisecond
+	// Interleaving makes which attempts get shed nondeterministic, so
+	// give each goroutine a retry budget no shedding pattern exhausts.
+	c.MaxRetries = 30
+	c.SeedJitter(1)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Submit(context.Background(), JobSpec{Experiment: ExperimentCell}, false); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent Submit: %v", err)
+	}
+}

@@ -169,6 +169,7 @@ type MetricsSnapshot struct {
 	CacheEntries  int     `json:"cache_entries"`
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheDiskHits uint64  `json:"cache_disk_hits"`
+	CachePeerHits uint64  `json:"cache_peer_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 
@@ -198,6 +199,7 @@ func (m *Metrics) snapshot(cs CacheStats) MetricsSnapshot {
 		CacheEntries:  cs.Entries,
 		CacheHits:     cs.Hits,
 		CacheDiskHits: cs.DiskHits,
+		CachePeerHits: cs.PeerHits,
 		CacheMisses:   cs.Misses,
 		CacheHitRatio: cs.HitRatio(),
 

@@ -178,6 +178,13 @@ type PoolConfig struct {
 	// Cache, when non-nil, answers repeated specs without re-running
 	// and stores every completed result.
 	Cache *Cache
+	// CellRunner, when non-nil, executes the sweep cells of named
+	// experiments instead of the default cached serial path — how a
+	// clustered winsimd fans a submitted figure out across its peers
+	// (internal/cluster provides the implementation). Single-cell jobs
+	// always run locally: the coordinator already routed them here, and
+	// re-routing would bounce cells between owners forever.
+	CellRunner harness.Runner
 }
 
 // Pool executes jobs on a fixed set of workers with an unbounded FIFO
@@ -236,6 +243,14 @@ func (p *Pool) Workers() int { return p.cfg.Workers }
 // Metrics returns a point-in-time snapshot of pool and cache counters.
 func (p *Pool) Metrics() MetricsSnapshot {
 	return p.metrics.snapshot(p.cfg.Cache.Stats())
+}
+
+// ObserveSim folds one freshly simulated cell's counters into the
+// per-scheme simulation metrics — the same accounting the pool applies
+// to its own cells, exported so an external cell runner (the cluster
+// coordinator running a cell inline) keeps winsim_* families exact.
+func (p *Pool) ObserveSim(scheme string, c *stats.Counters) {
+	p.metrics.simObserved(scheme, c)
 }
 
 // Submit validates and enqueues a spec. A cached result returns an
@@ -455,7 +470,10 @@ func (p *Pool) execute(spec JobSpec) (*JobResult, error) {
 // experiment's JobResult carries the same totals regardless of cache
 // state.
 func (p *Pool) countingRunner(agg *stats.Counters) harness.Runner {
-	inner := p.cachedSerialRunner()
+	inner := p.cfg.CellRunner
+	if inner == nil {
+		inner = p.cachedSerialRunner()
+	}
 	return func(cells []harness.CellSpec) []harness.Result {
 		out := inner(cells)
 		for i := range out {
@@ -475,12 +493,12 @@ func (p *Pool) cachedSerialRunner() harness.Runner {
 			spec := CellSpec(c)
 			hash := spec.Hash()
 			if res, ok := p.cfg.Cache.Get(hash); ok && res.Cell != nil {
-				out[i] = res.Cell.harnessResult(spec)
+				out[i] = res.Cell.HarnessResult(spec)
 				continue
 			}
 			r := c.Run()
 			p.metrics.simObserved(c.Scheme.String(), &r.Counters)
-			p.cfg.Cache.Put(hash, &JobResult{Spec: spec, Cell: cellResultOf(r)})
+			p.cfg.Cache.Put(hash, &JobResult{Spec: spec, Cell: CellResultOf(r)})
 			out[i] = r
 		}
 		return out
@@ -506,7 +524,7 @@ func (p *Pool) Runner() harness.Runner {
 		for i, j := range jobs {
 			if j != nil {
 				if res, err := j.Wait(context.Background()); err == nil && res != nil && res.Cell != nil {
-					out[i] = res.Cell.harnessResult(j.Spec())
+					out[i] = res.Cell.HarnessResult(j.Spec())
 					continue
 				}
 			}

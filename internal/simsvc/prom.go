@@ -23,6 +23,9 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 
 	pw := obs.NewWriter(w)
 
+	pw.Header("winsimd_build_info", "Build metadata; the value is always 1.", "gauge")
+	pw.Sample("winsimd_build_info", obs.L("version", Version, "commit", Commit()), 1)
+
 	pw.Header("winsimd_workers", "Configured worker count.", "gauge")
 	pw.Sample("winsimd_workers", nil, float64(snap.Workers))
 	pw.Header("winsimd_busy_workers", "Workers currently executing a job.", "gauge")
@@ -47,6 +50,7 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 	pw.Header("winsimd_cache_hits_total", "Cache hits by tier.", "counter")
 	pw.Sample("winsimd_cache_hits_total", obs.L("tier", "memory"), float64(snap.CacheHits))
 	pw.Sample("winsimd_cache_hits_total", obs.L("tier", "disk"), float64(snap.CacheDiskHits))
+	pw.Sample("winsimd_cache_hits_total", obs.L("tier", "peer"), float64(snap.CachePeerHits))
 	pw.Header("winsimd_cache_misses_total", "Cache misses.", "counter")
 	pw.Sample("winsimd_cache_misses_total", nil, float64(snap.CacheMisses))
 

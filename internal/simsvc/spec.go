@@ -227,7 +227,9 @@ type CellResult struct {
 	Misspelled        int       `json:"misspelled"`
 }
 
-func cellResultOf(r harness.Result) *CellResult {
+// CellResultOf converts a finished harness cell run into its
+// JSON-stable cached form.
+func CellResultOf(r harness.Result) *CellResult {
 	c := r.Counters
 	return &CellResult{
 		Cycles:               r.Cycles,
@@ -266,9 +268,10 @@ func (cr *CellResult) counters() stats.Counters {
 	}
 }
 
-// harnessResult rebuilds the harness view of a cell result for the
-// given spec.
-func (cr *CellResult) harnessResult(s JobSpec) harness.Result {
+// HarnessResult rebuilds the harness view of a cell result for the
+// given spec — how cached, pooled and cluster-routed cells re-enter a
+// sweep byte-identically to freshly simulated ones.
+func (cr *CellResult) HarnessResult(s JobSpec) harness.Result {
 	s = s.Normalize()
 	scheme, _ := schemeByName(s.Scheme)
 	policy, _ := policyByName(s.Policy)
@@ -348,5 +351,5 @@ func runCell(s JobSpec) (*CellResult, *obs.JobTrace, error) {
 	if tr != nil {
 		jt = tr.Snapshot()
 	}
-	return cellResultOf(r), jt, nil
+	return CellResultOf(r), jt, nil
 }

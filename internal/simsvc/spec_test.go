@@ -134,7 +134,7 @@ func TestCellRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("runCell: %v", err)
 	}
-	got := cr.harnessResult(spec)
+	got := cr.HarnessResult(spec)
 	if got.Cycles != want.Cycles || got.Misspelled != want.Misspelled ||
 		got.Counters.Switches != want.Counters.Switches ||
 		got.Counters.AvgSwitchCycles() != want.Counters.AvgSwitchCycles() ||

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# smoke_cluster.sh — end-to-end distributed-sweep smoke test.
+#
+# Boots a 3-node winsimd cluster (one seed member, two joiners), then
+# verifies the distributed path against the serial golden output:
+#   1. `winsim -cluster` renders fig11 byte-identical to the serial run.
+#   2. A repeat sweep is answered entirely by the peer-fill cache tier:
+#      peer fills > 0 and the workers execute zero new jobs.
+#   3. A worker killed (-9) mid-sweep is routed around: the sweep
+#      completes and still matches the serial golden.
+#   4. The /metrics exposition carries the winsimd_cluster_* families
+#      and winsimd_build_info, and the survivors mark the killed member
+#      unhealthy.
+#
+# Requires only the go toolchain plus curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+A1="127.0.0.1:8101"; A2="127.0.0.1:8102"; A3="127.0.0.1:8103"
+B1="http://$A1"; B2="http://$A2"; B3="http://$A3"
+TMP="$(mktemp -d)"
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; wait "${PIDS[@]}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build =="
+go build -o "$TMP/winsimd" ./cmd/winsimd
+go build -o "$TMP/winsim" ./cmd/winsim
+
+echo "== boot a 3-node cluster =="
+"$TMP/winsimd" -addr "$A1" -workers 2 -peers "$B2,$B3" &
+PIDS+=($!)
+"$TMP/winsimd" -addr "$A2" -workers 2 -join "$B1" &
+W2_PID=$!
+PIDS+=($W2_PID)
+"$TMP/winsimd" -addr "$A3" -workers 2 -join "$B1" &
+PIDS+=($!)
+
+for base in "$B1" "$B2" "$B3"; do
+  for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "worker $base did not come up" >&2; exit 1; fi
+    sleep 0.2
+  done
+done
+
+echo "== membership converges to 3 members =="
+for i in $(seq 1 50); do
+  N="$(curl -fsS "$B1/v1/cluster/members" | grep -c 'http://' || true)"
+  if [ "$N" = 3 ]; then break; fi
+  if [ "$i" = 50 ]; then echo "member list stuck at $N members" >&2; exit 1; fi
+  sleep 0.2
+done
+echo "3 members known to the seed"
+
+echo "== serial goldens =="
+"$TMP/winsim" -exp fig11 -parallel=false >"$TMP/fig11.golden"
+"$TMP/winsim" -exp fig14 -parallel=false >"$TMP/fig14.golden"
+
+echo "== distributed fig11 matches the serial golden =="
+"$TMP/winsim" -exp fig11 -cluster "$B1" >"$TMP/fig11.cluster" 2>"$TMP/fig11.err"
+diff -u "$TMP/fig11.golden" "$TMP/fig11.cluster"
+grep -q 'cells routed' "$TMP/fig11.err"
+echo "byte-identical"
+
+echo "== repeat sweep is served by peer fill, nothing recomputed =="
+JOBS_BEFORE=0
+for base in "$B1" "$B2" "$B3"; do
+  J="$(curl -fsS "$base/metrics" | sed -n 's/^winsimd_jobs_total{state="done"} \([0-9]*\)$/\1/p')"
+  JOBS_BEFORE=$((JOBS_BEFORE + J))
+done
+"$TMP/winsim" -exp fig11 -cluster "$B1" >"$TMP/fig11.repeat" 2>"$TMP/repeat.err"
+diff -u "$TMP/fig11.golden" "$TMP/fig11.repeat"
+FILLS="$(sed -n 's/.* \([0-9]*\) peer fills$/\1/p' "$TMP/repeat.err")"
+[ -n "$FILLS" ] && [ "$FILLS" -gt 0 ] || { echo "repeat sweep made no peer fills:" >&2; cat "$TMP/repeat.err" >&2; exit 1; }
+JOBS_AFTER=0
+for base in "$B1" "$B2" "$B3"; do
+  J="$(curl -fsS "$base/metrics" | sed -n 's/^winsimd_jobs_total{state="done"} \([0-9]*\)$/\1/p')"
+  JOBS_AFTER=$((JOBS_AFTER + J))
+done
+[ "$JOBS_AFTER" = "$JOBS_BEFORE" ] || { echo "repeat sweep recomputed: jobs_done $JOBS_BEFORE -> $JOBS_AFTER" >&2; exit 1; }
+echo "$FILLS peer fills, 0 recomputes"
+
+echo "== kill a worker mid-sweep; the sweep must still complete =="
+"$TMP/winsim" -exp fig14 -cluster "$B1" >"$TMP/fig14.cluster" 2>"$TMP/fig14.err" &
+SWEEP_PID=$!
+sleep 1
+kill -9 "$W2_PID" 2>/dev/null || true
+wait "$SWEEP_PID"
+diff -u "$TMP/fig14.golden" "$TMP/fig14.cluster"
+echo "sweep survived the kill, output byte-identical"
+
+echo "== cluster metrics families =="
+curl -fsS "$B1/metrics" >"$TMP/metrics.prom"
+grep -q '^# TYPE winsimd_cluster_members gauge$' "$TMP/metrics.prom"
+grep -q '^winsimd_cluster_cells_local_total ' "$TMP/metrics.prom"
+grep -q '^winsimd_cluster_peer_fills_total ' "$TMP/metrics.prom"
+grep -q '^winsimd_cluster_ring_rebalances_total ' "$TMP/metrics.prom"
+grep -q '^winsimd_cluster_joins_total ' "$TMP/metrics.prom"
+grep -q '^winsimd_build_info{version="' "$TMP/metrics.prom"
+
+echo "== survivors mark the killed member unhealthy =="
+for i in $(seq 1 75); do
+  if curl -fsS "$B1/metrics" | grep -q "^winsimd_cluster_members{member=\"$B2\"} 0$"; then break; fi
+  if [ "$i" = 75 ]; then
+    echo "seed never marked $B2 unhealthy" >&2
+    curl -fsS "$B1/metrics" | grep winsimd_cluster_members >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+echo "killed member routed around"
+
+echo "SMOKE OK"
