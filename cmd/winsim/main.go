@@ -35,6 +35,7 @@ import (
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/fault"
 	"cyclicwin/internal/harness"
+	"cyclicwin/internal/isa"
 	"cyclicwin/internal/obs"
 	"cyclicwin/internal/sched"
 	"cyclicwin/internal/simsvc"
@@ -60,7 +61,17 @@ func main() {
 	checkRuns := flag.Int("checkruns", 8, "with -check: seeded random sequences per configuration variant")
 	checkLen := flag.Int("checklen", 400, "with -check: length of each random sequence")
 	checkSeed := flag.Uint64("checkseed", 1, "with -check: base seed for the random sequences")
+	tierFlag := flag.String("tier", "", "interpreter tier for guest machine code run in-process: block, fast or slow (default block)")
 	flag.Parse()
+
+	if *tierFlag != "" {
+		t, err := isa.ParseTier(*tierFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
+			os.Exit(2)
+		}
+		isa.SetDefaultTier(t)
+	}
 
 	if *checkRun {
 		os.Exit(runCheck(*checkDepth, *checkRuns, *checkLen, *checkSeed))

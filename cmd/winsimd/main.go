@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"cyclicwin/internal/cluster"
+	"cyclicwin/internal/isa"
 	"cyclicwin/internal/simsvc"
 )
 
@@ -85,7 +86,16 @@ func main() {
 	nodeURL := flag.String("node", "", "advertised URL of this node (default derived from -addr)")
 	peers := flag.String("peers", "", "comma-separated URLs of the other cluster members")
 	join := flag.String("join", "", "URL of a running member to announce this node to")
+	tierFlag := flag.String("tier", "", "interpreter tier for guest machine code run in-process: block, fast or slow (default block)")
 	flag.Parse()
+
+	if *tierFlag != "" {
+		t, err := isa.ParseTier(*tierFlag)
+		if err != nil {
+			log.Fatalf("winsimd: %v", err)
+		}
+		isa.SetDefaultTier(t)
+	}
 
 	cache, err := simsvc.NewCache(*cacheSize, *cacheDir)
 	if err != nil {

@@ -1,11 +1,11 @@
 package isa_test
 
-// Interpreter microbenchmarks comparing the fast core (predecoded
-// instruction cache, devirtualized window access, batched cycle
-// accounting) against the reference Step path on the same programs.
-// The slow sub-benchmarks ARE the pre-change interpreter — SetFastPath
-// routes Run through the original per-instruction Step loop — so
-// fast/slow is the before/after speedup recorded in BENCH_interp.json.
+// Interpreter microbenchmarks comparing the three tiers on the same
+// programs: block (translated basic blocks over the fast core), fast
+// (predecoded instruction cache, devirtualized window access, batched
+// cycle accounting), and slow (the reference Step path — the original
+// interpreter). block/fast and fast/slow are the per-PR speedups
+// recorded in BENCH_interp.json.
 
 import (
 	"testing"
@@ -76,14 +76,21 @@ hloop:
 `
 
 // benchProgram runs src once per iteration on a fresh machine with the
-// chosen interpreter path; allocation cost is identical on both sides,
-// so the fast/slow ratio isolates the interpreter core.
-func benchProgram(b *testing.B, src string, windows int, fast bool) {
+// chosen interpreter tier; allocation cost is identical on all sides,
+// so the block/fast/slow ratios isolate the interpreter core. The
+// runtime invariant audit — armed by TestMain for every test in this
+// binary, but off in production runs — is disabled for the measurement:
+// it re-verifies the whole window file inside every save and restore,
+// which would swamp the call-heavy workloads with debug-only cost.
+func benchProgram(b *testing.B, src string, windows int, tier isa.Tier) {
+	audit := core.InvariantChecksEnabled()
+	core.SetInvariantChecks(false)
+	defer core.SetInvariantChecks(audit)
 	p := asm.MustAssemble(src, 0x1000)
 	var steps uint64
 	for i := 0; i < b.N; i++ {
 		m := isa.NewMachine(core.SchemeSP, windows)
-		m.SlowPath = !fast
+		m.Tier = tier
 		p.Load(m.Mem)
 		// Seed the text area the spell kernel hashes.
 		for a := uint32(0x5000); a < 0x5000+400*8; a++ {
@@ -102,21 +109,66 @@ func benchProgram(b *testing.B, src string, windows int, fast bool) {
 // BenchmarkCPUStep measures the raw fetch/decode/execute round trip on
 // a tight arithmetic loop.
 func BenchmarkCPUStep(b *testing.B) {
-	b.Run("fast", func(b *testing.B) { benchProgram(b, stepLoopSrc, 8, true) })
-	b.Run("slow", func(b *testing.B) { benchProgram(b, stepLoopSrc, 8, false) })
+	b.Run("block", func(b *testing.B) { benchProgram(b, stepLoopSrc, 8, isa.TierBlock) })
+	b.Run("fast", func(b *testing.B) { benchProgram(b, stepLoopSrc, 8, isa.TierFast) })
+	b.Run("slow", func(b *testing.B) { benchProgram(b, stepLoopSrc, 8, isa.TierSlow) })
 }
 
 // BenchmarkSpellWorkload measures the spell-checker-like kernel — the
 // headline before/after number for the fast interpreter core.
 func BenchmarkSpellWorkload(b *testing.B) {
-	b.Run("fast", func(b *testing.B) { benchProgram(b, spellSrc, 8, true) })
-	b.Run("slow", func(b *testing.B) { benchProgram(b, spellSrc, 8, false) })
+	b.Run("block", func(b *testing.B) { benchProgram(b, spellSrc, 8, isa.TierBlock) })
+	b.Run("fast", func(b *testing.B) { benchProgram(b, spellSrc, 8, isa.TierFast) })
+	b.Run("slow", func(b *testing.B) { benchProgram(b, spellSrc, 8, isa.TierSlow) })
+}
+
+// storeFarSrc hammers stores at a data page far from the cached text;
+// the icache store watcher must reject every one of them on its bounds
+// compare. Before invalidate became slot-granular it rescanned cached
+// pages on such stores, so this is the regression guard for predecode
+// over-invalidation.
+const storeFarSrc = `
+start:
+	set 20000, %l0
+	set 0x8000, %l1
+loop:
+	st %l2, [%l1]
+	add %l2, 1, %l2
+	subcc %l0, 1, %l0
+	bne loop
+	ta 0
+`
+
+// storeTextPageSrc stores into the same page as the loop itself, but at
+// a word the loop never executes: slot-granular invalidation clears one
+// decode slot per store, while a page-granular scheme would force the
+// whole loop to re-decode every iteration.
+const storeTextPageSrc = `
+start:
+	set 20000, %l0
+	set 0x1800, %l1
+loop:
+	st %l2, [%l1]
+	add %l2, 1, %l2
+	subcc %l0, 1, %l0
+	bne loop
+	ta 0
+`
+
+// BenchmarkPredecodeInvalidation measures the store watcher on the fast
+// (predecode) tier: "reject" is the common case of stores nowhere near
+// text, "textpage" the worst case of stores landing in a cached text
+// page without touching the running code.
+func BenchmarkPredecodeInvalidation(b *testing.B) {
+	b.Run("reject", func(b *testing.B) { benchProgram(b, storeFarSrc, 8, isa.TierFast) })
+	b.Run("textpage", func(b *testing.B) { benchProgram(b, storeTextPageSrc, 8, isa.TierFast) })
 }
 
 // BenchmarkSpellWorkloadSmallFile repeats the spell kernel on a 4-window
 // file, where every hash call overflows and every return underflows, so
 // the manager slow path (window traps) stays in the profile.
 func BenchmarkSpellWorkloadSmallFile(b *testing.B) {
-	b.Run("fast", func(b *testing.B) { benchProgram(b, spellSrc, 4, true) })
-	b.Run("slow", func(b *testing.B) { benchProgram(b, spellSrc, 4, false) })
+	b.Run("block", func(b *testing.B) { benchProgram(b, spellSrc, 4, isa.TierBlock) })
+	b.Run("fast", func(b *testing.B) { benchProgram(b, spellSrc, 4, isa.TierFast) })
+	b.Run("slow", func(b *testing.B) { benchProgram(b, spellSrc, 4, isa.TierSlow) })
 }

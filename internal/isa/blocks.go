@@ -1,0 +1,735 @@
+package isa
+
+import (
+	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/fault"
+	"cyclicwin/internal/regwin"
+)
+
+// This file is the block-translation tier, the third interpreter tier
+// above predecode (fast.go). Hot guest basic blocks — entry PC up to and
+// including the first branch, call, jmpl, save/restore, trap, or
+// untranslatable word — are translated once into a fused block: a flat
+// slice of pre-resolved micro-ops whose register operands are direct
+// pointers into the window file's backing arrays (resolved once per
+// (entry, CWP) pair instead of once per executed instruction),
+// immediates folded into block-owned constant cells read through the
+// same pointers, and cycle accounting collapsed into a prefix-sum table
+// so a successful block execution costs one add.
+//
+// Exact-parity contract (pinned by fastpath_test.go, blocks_test.go and
+// FuzzGuestFaultParity): every observable — registers, memory, console,
+// Steps, cycle totals, and the PC/CWP/Cycle recorded in a GuestFault —
+// must be byte-identical to the fast and reference paths. The
+// per-instruction state is reconstructed on any exit that is not the
+// block's natural end:
+//
+//   - fault at op i: Steps += i+1 (the faulting instruction counts, as
+//     on both other paths), cycles += prefix[i] (the faulting
+//     instruction's own cost is not charged), pc = entry + 4i.
+//   - invalidation abort after a store at op i (the store overwrote
+//     translated text, possibly this very block): the store itself
+//     completed, so Steps += i+1, cycles += prefix[i+1], pc = entry +
+//     4(i+1), and control returns to the dispatch loop, which
+//     re-resolves the (now retranslated) text.
+//
+// Coherence: the block cache registers its own mem.Memory.OnStore
+// watcher. A store overlapping any translated block kills that block
+// (unlinks it and bumps the cache generation); the executor re-checks
+// the generation after every store micro-op, which is what makes
+// mid-block self-modification exact. Window reconfiguration is handled
+// structurally: blocks are keyed by (entry PC, CWP) and dispatch
+// compares the live CWP, so a save, restore, switch, or relocation
+// simply selects (or translates) a different variant rather than
+// invalidating anything. The chaos injector's icache-flush point drops
+// this cache too, proving translated and freshly interpreted execution
+// are identical.
+const (
+	// blockMaxLen caps translated block length; a block that long ends
+	// with a fallthrough to the next sequential PC.
+	blockMaxLen = 64
+
+	// defaultBlockThreshold is how many dispatch misses an entry PC
+	// accumulates before it is translated (SetBlockThreshold overrides).
+	defaultBlockThreshold = 8
+)
+
+// bopKind enumerates block micro-ops. The first group mirrors the
+// non-terminating instruction forms; the group after bBcc terminates a
+// block.
+type bopKind uint8
+
+const (
+	bAdd bopKind = iota
+	bAddCC
+	bSub
+	bSubCC
+	bAddX
+	bAddXCC
+	bSubX
+	bSubXCC
+	bAnd
+	bAndCC
+	bOr
+	bOrCC
+	bXor
+	bXorCC
+	bSMul
+	bSDiv
+	bSll
+	bSrl
+	bSra
+	bSethi
+	bLd
+	bLdub
+	bLdsb
+	bLduh
+	bLdsh
+	bSt
+	bStb
+	bSth
+	// Terminators.
+	bBcc
+	bCall
+	bJmpl
+	bSave
+	bRestore
+	bTicc
+)
+
+// bop is one fused micro-op. a and b are the pre-resolved source
+// operands (register cells or folded-immediate constant cells); d is the
+// destination cell for results, the value-source cell for stores, and
+// the %o0 cell for the putc trap. val holds the sethi constant or a
+// precomputed branch/call target; cond and rd carry the Bicc condition
+// and the save/restore destination register (resolved at execution time
+// because save/restore move the window before writing).
+type bop struct {
+	kind bopKind
+	cond uint8
+	rd   uint8
+	a    *uint32
+	b    *uint32
+	d    *uint32
+	val  uint32
+}
+
+// block is one translated basic block for one (entry, cwp) pair. n == 0
+// marks a negative entry: the first word at entry is untranslatable, so
+// dispatch stops re-probing it (the sentinel still occupies the entry
+// chain and is killed like any block when its word is overwritten).
+type block struct {
+	entry uint32
+	end   uint32 // one past the last translated word
+	cwp   int
+	n     int
+	ops   []bop
+	// cyc[k] is the cycle cost of the first k ops, so a fault at op i
+	// charges cyc[i] and a complete run charges cyc[n] in one add.
+	cyc []uint64
+	// consts backs folded immediates; micro-ops hold pointers into it,
+	// so it is a fixed-size array (append reallocation would dangle).
+	consts *[blockMaxLen]uint32
+	next   *block // entry-chain link (other CWP variants of this entry)
+	dead   bool
+}
+
+// blockPage indexes the blocks of one text page: blocks chains variants
+// by entry word, heat counts dispatch misses per entry word, and list
+// holds every block overlapping the page (for store invalidation, which
+// must find blocks by *any* covered word, not just their entry).
+type blockPage struct {
+	heat   [icachePageWords]uint8
+	blocks [icachePageWords]*block
+	list   []*block
+}
+
+// blockCache is the per-CPU translated-block cache.
+type blockCache struct {
+	cpu   *CPU
+	pages map[uint32]*blockPage
+	// lo and hi bound pages ever touched, so the store watcher rejects
+	// unrelated stores (data, stacks, save areas) in two compares.
+	lo, hi uint32
+	// gen increments on every kill or drop; the executor snapshots it
+	// and aborts the running block when a store changed it.
+	gen uint64
+}
+
+func newBlockCache(c *CPU) *blockCache {
+	bc := &blockCache{cpu: c, pages: make(map[uint32]*blockPage), lo: ^uint32(0), hi: 0}
+	c.Mem.OnStore(bc.invalidate)
+	return bc
+}
+
+// page returns the block page covering page number pn, creating it on
+// first use.
+func (bc *blockCache) page(pn uint32) *blockPage {
+	p := bc.pages[pn]
+	if p == nil {
+		p = new(blockPage)
+		bc.pages[pn] = p
+		if pn < bc.lo {
+			bc.lo = pn
+		}
+		if pn > bc.hi {
+			bc.hi = pn
+		}
+	}
+	return p
+}
+
+// dropAll empties the cache; live executions notice through gen.
+func (bc *blockCache) dropAll() {
+	bc.pages = make(map[uint32]*blockPage)
+	bc.lo, bc.hi = ^uint32(0), 0
+	bc.gen++
+}
+
+// invalidate is the store watcher: it kills every block overlapping the
+// stored range [addr, addr+n). Like the icache watcher it runs on every
+// guest store, so the common case must exit on the bounds compare.
+func (bc *blockCache) invalidate(addr, n uint32) {
+	end := addr + n - 1 // inclusive; n >= 1
+	if end < addr {
+		end = ^uint32(0) // clamp a store wrapping past the top of memory
+	}
+	first, last := addr>>icachePageShift, end>>icachePageShift
+	if first > bc.hi || last < bc.lo {
+		return
+	}
+	if first < bc.lo {
+		first = bc.lo
+	}
+	if last > bc.hi {
+		last = bc.hi
+	}
+	for pn := first; ; pn++ {
+		if p := bc.pages[pn]; p != nil && len(p.list) > 0 {
+			bc.sweep(p, addr, end)
+		}
+		if pn == last {
+			return
+		}
+	}
+}
+
+// sweep kills every live block in p overlapping [lo, hi] (inclusive
+// bytes) and compacts the page list. A block spanning two pages is
+// killed once; its entry in the other page's list is dropped lazily by
+// that page's next sweep (the dead flag marks it).
+func (bc *blockCache) sweep(p *blockPage, lo, hi uint32) {
+	kept := p.list[:0]
+	for _, b := range p.list {
+		if !b.dead && b.entry <= hi && b.end-1 >= lo {
+			bc.kill(b)
+		}
+		if !b.dead {
+			kept = append(kept, b)
+		}
+	}
+	for i := len(kept); i < len(p.list); i++ {
+		p.list[i] = nil
+	}
+	p.list = kept
+}
+
+// kill retires one block: unlink it from its entry chain, reset the
+// entry's heat (patched code re-earns translation), and bump gen so a
+// currently executing copy aborts at its next store.
+func (bc *blockCache) kill(b *block) {
+	b.dead = true
+	bc.gen++
+	bc.cpu.tstat.BlockCacheInvalidations++
+	if ep := bc.pages[b.entry>>icachePageShift]; ep != nil {
+		idx := (b.entry & icachePageMask) >> 2
+		ep.heat[idx] = 0
+		for pp := &ep.blocks[idx]; *pp != nil; pp = &(*pp).next {
+			if *pp == b {
+				*pp = b.next
+				break
+			}
+		}
+	}
+}
+
+// insert links a freshly translated block into its entry chain and the
+// list of every page it overlaps.
+func (bc *blockCache) insert(b *block) {
+	first, last := b.entry>>icachePageShift, (b.end-1)>>icachePageShift
+	ep := bc.page(first)
+	idx := (b.entry & icachePageMask) >> 2
+	b.next = ep.blocks[idx]
+	ep.blocks[idx] = b
+	for pn := first; ; pn++ {
+		p := bc.page(pn)
+		p.list = append(p.list, b)
+		if pn == last {
+			return
+		}
+	}
+}
+
+// blockFor resolves the block for pc in the current window, bumping the
+// entry's heat and translating once it crosses the threshold. It
+// returns nil when execution should take the per-instruction fast path
+// (cold entry, or a blacklisted untranslatable one).
+func (c *CPU) blockFor(pc uint32) *block {
+	pn := pc >> icachePageShift
+	bp := c.curBPage
+	if bp == nil || pn != c.curBPageNum {
+		bp = c.bcache.page(pn)
+		c.curBPage, c.curBPageNum = bp, pn
+	}
+	idx := (pc & icachePageMask) >> 2
+	cwp := c.file.CWP()
+	for b := bp.blocks[idx]; b != nil; b = b.next {
+		if b.cwp == cwp {
+			if b.n == 0 {
+				c.tstat.BlockCacheMisses++
+				return nil
+			}
+			return b
+		}
+	}
+	c.tstat.BlockCacheMisses++
+	bp.heat[idx]++
+	if bp.heat[idx] < c.blockHot {
+		return nil
+	}
+	bp.heat[idx] = 0
+	if b := c.bcache.translate(pc, cwp); b.n > 0 {
+		return b
+	}
+	return nil
+}
+
+// translate builds the block entered at entry with the window pointers
+// of cwp (the live CWP at translation time) and inserts it into the
+// cache. An untranslatable first word yields an n == 0 sentinel.
+func (bc *blockCache) translate(entry uint32, cwp int) *block {
+	c := bc.cpu
+	fw := c.wa.FastWindow()
+	b := &block{entry: entry, cwp: cwp, consts: new([blockMaxLen]uint32)}
+	nconst := 0
+	cref := func(v uint32) *uint32 {
+		b.consts[nconst] = v
+		p := &b.consts[nconst]
+		nconst++
+		return p
+	}
+	// rd resolves a source-operand register to its cell; %g0 reads from
+	// a cell the CPU never writes, preserving the hardwired zero even
+	// though Globals[0] is bypassed.
+	rd := func(r int) *uint32 {
+		switch {
+		case r == 0:
+			return &c.zeroReg
+		case r < regwin.RegO0:
+			return &fw.Globals[r]
+		case r < regwin.RegL0:
+			return &fw.Outs[r-regwin.RegO0]
+		case r < regwin.RegI0:
+			return &fw.Locals[r-regwin.RegL0]
+		default:
+			return &fw.Ins[r-regwin.RegI0]
+		}
+	}
+	// wr resolves a destination register; writes to %g0 land in a sink
+	// cell nothing reads, mirroring Manager.SetReg's discard.
+	wr := func(r int) *uint32 {
+		if r == 0 {
+			return &c.g0sink
+		}
+		return rd(r)
+	}
+
+	pc := entry
+	var sum uint64
+	b.cyc = append(b.cyc, 0)
+	for len(b.ops) < blockMaxLen {
+		in := Decode(c.Mem.Load32(pc))
+		var o bop
+		cost := uint64(cycles.Instr)
+		term, ok := false, true
+		switch in.Op {
+		case opCall:
+			o = bop{kind: bCall, d: wr(regwin.RegO7), val: uint32(int64(pc) + int64(in.Disp)*4)}
+			cost, term = cycles.InstrCall, true
+		case opBranch:
+			switch in.Op2 {
+			case op2Sethi:
+				o = bop{kind: bSethi, d: wr(in.Rd), val: in.Imm22 << 10}
+			case op2Bicc:
+				o = bop{kind: bBcc, cond: uint8(in.Cond), val: uint32(int64(pc) + int64(in.Disp)*4)}
+				cost, term = cycles.InstrBranch, true
+			default:
+				ok = false
+			}
+		case opArith:
+			a := rd(in.Rs1)
+			b2 := rd(in.Rs2)
+			if in.Imm {
+				b2 = cref(uint32(in.Simm13))
+			}
+			d := wr(in.Rd)
+			switch in.Op3 {
+			case Op3Add:
+				o = bop{kind: bAdd, a: a, b: b2, d: d}
+			case Op3AddCC:
+				o = bop{kind: bAddCC, a: a, b: b2, d: d}
+			case Op3Sub:
+				o = bop{kind: bSub, a: a, b: b2, d: d}
+			case Op3SubCC:
+				o = bop{kind: bSubCC, a: a, b: b2, d: d}
+			case Op3AddX:
+				o = bop{kind: bAddX, a: a, b: b2, d: d}
+			case Op3AddXCC:
+				o = bop{kind: bAddXCC, a: a, b: b2, d: d}
+			case Op3SubX:
+				o = bop{kind: bSubX, a: a, b: b2, d: d}
+			case Op3SubXCC:
+				o = bop{kind: bSubXCC, a: a, b: b2, d: d}
+			case Op3And:
+				o = bop{kind: bAnd, a: a, b: b2, d: d}
+			case Op3AndCC:
+				o = bop{kind: bAndCC, a: a, b: b2, d: d}
+			case Op3Or:
+				o = bop{kind: bOr, a: a, b: b2, d: d}
+			case Op3OrCC:
+				o = bop{kind: bOrCC, a: a, b: b2, d: d}
+			case Op3Xor:
+				o = bop{kind: bXor, a: a, b: b2, d: d}
+			case Op3XorCC:
+				o = bop{kind: bXorCC, a: a, b: b2, d: d}
+			case Op3SMul:
+				o = bop{kind: bSMul, a: a, b: b2, d: d}
+				cost = cycles.InstrMul + cycles.Instr
+			case Op3SDiv:
+				o = bop{kind: bSDiv, a: a, b: b2, d: d}
+				cost = cycles.InstrDiv + cycles.Instr
+			case Op3Sll:
+				o = bop{kind: bSll, a: a, b: b2, d: d}
+			case Op3Srl:
+				o = bop{kind: bSrl, a: a, b: b2, d: d}
+			case Op3Sra:
+				o = bop{kind: bSra, a: a, b: b2, d: d}
+			case Op3Jmpl:
+				o = bop{kind: bJmpl, a: a, b: b2, d: d}
+				cost, term = cycles.InstrCall, true
+			case Op3Save:
+				o = bop{kind: bSave, a: a, b: b2, rd: uint8(in.Rd)}
+				cost, term = 0, true
+			case Op3Restore:
+				o = bop{kind: bRestore, a: a, b: b2, rd: uint8(in.Rd)}
+				cost, term = 0, true
+			case Op3Ticc:
+				o = bop{kind: bTicc, a: a, b: b2, d: rd(regwin.RegO0)}
+				cost, term = cycles.TrapEnterExit, true
+			default:
+				ok = false
+			}
+		case opMem:
+			a := rd(in.Rs1)
+			b2 := rd(in.Rs2)
+			if in.Imm {
+				b2 = cref(uint32(in.Simm13))
+			}
+			cost = cycles.InstrMem
+			switch in.Op3 {
+			case Op3Ld:
+				o = bop{kind: bLd, a: a, b: b2, d: wr(in.Rd)}
+			case Op3Ldub:
+				o = bop{kind: bLdub, a: a, b: b2, d: wr(in.Rd)}
+			case Op3Ldsb:
+				o = bop{kind: bLdsb, a: a, b: b2, d: wr(in.Rd)}
+			case Op3Lduh:
+				o = bop{kind: bLduh, a: a, b: b2, d: wr(in.Rd)}
+			case Op3Ldsh:
+				o = bop{kind: bLdsh, a: a, b: b2, d: wr(in.Rd)}
+			case Op3St:
+				o = bop{kind: bSt, a: a, b: b2, d: rd(in.Rd)}
+			case Op3Stb:
+				o = bop{kind: bStb, a: a, b: b2, d: rd(in.Rd)}
+			case Op3Sth:
+				o = bop{kind: bSth, a: a, b: b2, d: rd(in.Rd)}
+			default:
+				ok = false
+			}
+		}
+		if !ok {
+			// The block ends before the untranslatable word; the
+			// per-instruction fast path raises its fault with an exact PC.
+			break
+		}
+		b.ops = append(b.ops, o)
+		sum += cost
+		b.cyc = append(b.cyc, sum)
+		pc += 4
+		if term {
+			break
+		}
+	}
+	b.n = len(b.ops)
+	b.end = pc
+	if b.n == 0 {
+		b.end = entry + 4 // sentinel covers the offending word
+	}
+	bc.insert(b)
+	return b
+}
+
+// commit retires the first k ops of b: Steps per instruction, cycles in
+// one batched add from the prefix table.
+func (c *CPU) commit(b *block, k int) {
+	c.Steps += uint64(k)
+	c.tstat.BlockInstrs += uint64(k)
+	c.pend += b.cyc[k]
+}
+
+// blockFault reconstructs exact per-instruction state for a fault at op
+// i and raises it: the faulting instruction counts toward Steps but its
+// own cycles are not charged, and the PC points at it — identical to
+// both other paths.
+func (c *CPU) blockFault(b *block, i int, k fault.Kind, format string, args ...interface{}) error {
+	c.Steps += uint64(i + 1)
+	c.tstat.BlockInstrs += uint64(i + 1)
+	c.pend += b.cyc[i]
+	c.pc = b.entry + uint32(4*i)
+	return c.guestFault(k, format, args...)
+}
+
+// execBlock runs one translated block to its end, a fault, or an
+// invalidation abort. On a nil return c.pc has advanced and the
+// dispatch loop continues; yield and halt are left in c.yield/c.halted
+// exactly as the per-instruction path leaves them.
+func (c *CPU) execBlock(b *block) error {
+	gen := c.bcache.gen
+	ops := b.ops
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case bAdd:
+			*op.d = *op.a + *op.b
+		case bAddCC:
+			a, bv := *op.a, *op.b
+			r := a + bv
+			c.setFlagsAdd(a, bv, r)
+			*op.d = r
+		case bSub:
+			*op.d = *op.a - *op.b
+		case bSubCC:
+			a, bv := *op.a, *op.b
+			r := a - bv
+			c.setFlagsSub(a, bv, r)
+			*op.d = r
+		case bAddX:
+			carry := uint32(0)
+			if c.icc.c {
+				carry = 1
+			}
+			*op.d = *op.a + *op.b + carry
+		case bAddXCC:
+			carry := uint32(0)
+			if c.icc.c {
+				carry = 1
+			}
+			a, bv := *op.a, *op.b
+			r := a + bv + carry
+			c.setFlagsAdd(a, bv+carry, r)
+			*op.d = r
+		case bSubX:
+			borrow := uint32(0)
+			if c.icc.c {
+				borrow = 1
+			}
+			*op.d = *op.a - *op.b - borrow
+		case bSubXCC:
+			borrow := uint32(0)
+			if c.icc.c {
+				borrow = 1
+			}
+			a, bv := *op.a, *op.b
+			r := a - bv - borrow
+			c.setFlagsSub(a, bv+borrow, r)
+			*op.d = r
+		case bAnd:
+			*op.d = *op.a & *op.b
+		case bAndCC:
+			r := *op.a & *op.b
+			c.setFlagsLogic(r)
+			*op.d = r
+		case bOr:
+			*op.d = *op.a | *op.b
+		case bOrCC:
+			r := *op.a | *op.b
+			c.setFlagsLogic(r)
+			*op.d = r
+		case bXor:
+			*op.d = *op.a ^ *op.b
+		case bXorCC:
+			r := *op.a ^ *op.b
+			c.setFlagsLogic(r)
+			*op.d = r
+		case bSMul:
+			*op.d = uint32(int32(*op.a) * int32(*op.b))
+		case bSDiv:
+			a, bv := *op.a, *op.b
+			if bv == 0 {
+				return c.blockFault(b, i, fault.DivisionByZero, "division by zero")
+			}
+			*op.d = uint32(int32(a) / int32(bv))
+		case bSll:
+			*op.d = *op.a << (*op.b & 31)
+		case bSrl:
+			*op.d = *op.a >> (*op.b & 31)
+		case bSra:
+			*op.d = uint32(int32(*op.a) >> (*op.b & 31))
+		case bSethi:
+			*op.d = op.val
+
+		case bLd:
+			addr := *op.a + *op.b
+			if addr >= MemCeiling {
+				return c.blockFault(b, i, fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+			}
+			if addr&3 != 0 {
+				return c.blockFault(b, i, fault.MisalignedAccess, "misaligned load (addr %#x)", addr)
+			}
+			*op.d = c.Mem.Load32(addr)
+		case bLdub:
+			addr := *op.a + *op.b
+			if addr >= MemCeiling {
+				return c.blockFault(b, i, fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+			}
+			*op.d = uint32(c.Mem.Load8(addr))
+		case bLdsb:
+			addr := *op.a + *op.b
+			if addr >= MemCeiling {
+				return c.blockFault(b, i, fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+			}
+			*op.d = uint32(int32(int8(c.Mem.Load8(addr))))
+		case bLduh, bLdsh:
+			addr := *op.a + *op.b
+			if addr >= MemCeiling {
+				return c.blockFault(b, i, fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+			}
+			if addr&1 != 0 {
+				return c.blockFault(b, i, fault.MisalignedAccess, "misaligned halfword load (addr %#x)", addr)
+			}
+			h := uint32(c.Mem.Load8(addr))<<8 | uint32(c.Mem.Load8(addr+1))
+			if op.kind == bLdsh {
+				h = uint32(int32(int16(h)))
+			}
+			*op.d = h
+		case bSt:
+			addr := *op.a + *op.b
+			if addr >= MemCeiling {
+				return c.blockFault(b, i, fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+			}
+			if addr&3 != 0 {
+				return c.blockFault(b, i, fault.MisalignedAccess, "misaligned store (addr %#x)", addr)
+			}
+			c.Mem.Store32(addr, *op.d)
+			if c.bcache.gen != gen {
+				// The store hit translated text (possibly this block):
+				// retire what ran, land on the next instruction, and let
+				// dispatch re-resolve against the patched code.
+				c.commit(b, i+1)
+				c.pc = b.entry + uint32(4*(i+1))
+				return nil
+			}
+		case bStb:
+			addr := *op.a + *op.b
+			if addr >= MemCeiling {
+				return c.blockFault(b, i, fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+			}
+			c.Mem.Store8(addr, byte(*op.d))
+			if c.bcache.gen != gen {
+				c.commit(b, i+1)
+				c.pc = b.entry + uint32(4*(i+1))
+				return nil
+			}
+		case bSth:
+			addr := *op.a + *op.b
+			if addr >= MemCeiling {
+				return c.blockFault(b, i, fault.OutOfRangeMemory, "data access above guest ceiling (addr %#x)", addr)
+			}
+			if addr&1 != 0 {
+				return c.blockFault(b, i, fault.MisalignedAccess, "misaligned halfword store (addr %#x)", addr)
+			}
+			v := *op.d
+			c.Mem.Store8(addr, byte(v>>8))
+			c.Mem.Store8(addr+1, byte(v))
+			if c.bcache.gen != gen {
+				c.commit(b, i+1)
+				c.pc = b.entry + uint32(4*(i+1))
+				return nil
+			}
+
+		case bBcc:
+			c.commit(b, i+1)
+			if c.cond(int(op.cond)) {
+				c.pc = op.val
+			} else {
+				c.pc = b.end
+			}
+			return nil
+		case bCall:
+			*op.d = b.entry + uint32(4*i)
+			c.commit(b, i+1)
+			c.pc = op.val
+			return nil
+		case bJmpl:
+			a, bv := *op.a, *op.b
+			*op.d = b.entry + uint32(4*i)
+			c.commit(b, i+1)
+			c.pc = a + bv
+			return nil
+		case bSave:
+			// Operands come from the caller's window cells; the manager
+			// moves the CWP (possibly through an overflow trap), so the
+			// result is written through the refreshed slow-path window.
+			// Cycles flush first, as on the fast path, so any observer
+			// inside Save sees reference-identical totals.
+			a, bv := *op.a, *op.b
+			c.commit(b, i+1)
+			c.flushCycles()
+			c.Mgr.Save()
+			c.winOK = false
+			c.wrReg(int(op.rd), a+bv)
+			c.pc = b.end
+			return nil
+		case bRestore:
+			if t := c.Mgr.Running(); t != nil && t.Depth() == 0 {
+				return c.blockFault(b, i, fault.InvalidWindowOp, "restore past the outermost frame")
+			}
+			a, bv := *op.a, *op.b
+			c.commit(b, i+1)
+			c.flushCycles()
+			c.Mgr.Restore()
+			c.winOK = false
+			c.wrReg(int(op.rd), a+bv)
+			c.pc = b.end
+			return nil
+		case bTicc:
+			switch n := int(*op.a + *op.b); n {
+			case TrapHalt:
+				c.halted = true
+			case TrapYield:
+				c.yield = true
+			case TrapPutc:
+				c.Console.WriteByte(byte(*op.d))
+			default:
+				return c.blockFault(b, i, fault.IllegalInstruction, "unknown software trap %d", n)
+			}
+			c.commit(b, i+1)
+			c.pc = b.end
+			return nil
+		}
+	}
+	// Fallthrough end (length cap or untranslatable successor).
+	c.commit(b, len(ops))
+	c.pc = b.end
+	return nil
+}

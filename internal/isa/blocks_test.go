@@ -1,0 +1,213 @@
+package isa_test
+
+// Unit tests for the block-translation tier that go beyond the
+// differential suite: tier selection and counters, step-limit faults
+// landing mid-block, guest faults raised from translated ops with exact
+// PC/CWP/cycle reconstruction, and the untranslatable-entry blacklist.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/isa"
+)
+
+// countLoop is a 20-pass loop whose body blocks are hot under the
+// default threshold: add/xor/subcc/bne then halt.
+func countLoop() []uint32 {
+	return []uint32{
+		isa.EncodeArithImm(isa.Op3Or, 7, 0, 20),   // 0: %g7 = 20
+		isa.EncodeArithImm(isa.Op3Add, 1, 1, 3),   // 1: %g1 += 3
+		isa.EncodeArith(isa.Op3Xor, 2, 2, 1),      // 2: %g2 ^= %g1
+		isa.EncodeArithImm(isa.Op3SubCC, 7, 7, 1), // 3: %g7--
+		isa.EncodeBranch(isa.CondNE, -3),          // 4: bne word 1
+		isa.EncodeArithImm(isa.Op3Ticc, 0, 0, isa.TrapHalt), // 5
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want isa.Tier
+		ok   bool
+	}{
+		{"block", isa.TierBlock, true},
+		{"fast", isa.TierFast, true},
+		{"slow", isa.TierSlow, true},
+		{"jit", isa.TierDefault, false},
+		{"", isa.TierDefault, false},
+	} {
+		got, err := isa.ParseTier(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+		if tc.ok && got.String() != tc.in {
+			t.Errorf("Tier(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+}
+
+// TestTierCountersAttribution checks that each tier attributes retired
+// instructions to itself and only the block tier populates the cache
+// counters.
+func TestTierCountersAttribution(t *testing.T) {
+	run := func(tier isa.Tier) (*isa.CPU, uint64) {
+		m := isa.NewMachine(core.SchemeSP, 8)
+		m.Tier = tier
+		words := countLoop()
+		for i, w := range words {
+			m.Mem.Store32(0x1000+uint32(4*i), w)
+		}
+		cpu, err := m.RunProgram(0x1000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cpu, cpu.Steps
+	}
+
+	cpu, steps := run(isa.TierBlock)
+	tc := cpu.TierCounters()
+	if tc.BlockInstrs == 0 || tc.BlockCacheHits == 0 || tc.BlockCacheMisses == 0 {
+		t.Fatalf("block tier counters not populated: %+v", tc)
+	}
+	if tc.BlockInstrs+tc.FastInstrs != steps || tc.ReferenceInstrs != 0 {
+		t.Fatalf("block+fast instrs %d+%d should equal steps %d (ref %d should be 0)",
+			tc.BlockInstrs, tc.FastInstrs, steps, tc.ReferenceInstrs)
+	}
+
+	cpu, steps = run(isa.TierFast)
+	tc = cpu.TierCounters()
+	if tc.FastInstrs != steps || tc.BlockInstrs != 0 || tc.BlockCacheHits != 0 {
+		t.Fatalf("fast tier misattributed: %+v (steps %d)", tc, steps)
+	}
+
+	cpu, steps = run(isa.TierSlow)
+	tc = cpu.TierCounters()
+	if tc.ReferenceInstrs != steps || tc.BlockInstrs != 0 || tc.FastInstrs != 0 {
+		t.Fatalf("slow tier misattributed: %+v (steps %d)", tc, steps)
+	}
+}
+
+// TestTierSnapshotMonotonic checks that CPU-local counters publish into
+// the process-wide snapshot when Run returns.
+func TestTierSnapshotMonotonic(t *testing.T) {
+	before := isa.TierSnapshot()
+	m := isa.NewMachine(core.SchemeSP, 8)
+	words := countLoop()
+	for i, w := range words {
+		m.Mem.Store32(0x1000+uint32(4*i), w)
+	}
+	if _, err := m.RunProgram(0x1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := isa.TierSnapshot()
+	d := after.Sub(before)
+	if d.BlockInstrs == 0 || d.BlockCacheHits == 0 {
+		t.Fatalf("global tier snapshot did not advance: %+v", d)
+	}
+}
+
+// TestBlockStepLimitParity lands the step limit in the middle of what
+// would be a hot translated block; the dispatch guard must fall back to
+// single-stepping so the StepLimit fault carries the exact PC and cycle
+// count of the reference path.
+func TestBlockStepLimitParity(t *testing.T) {
+	words := countLoop()
+	// Limits chosen to land on every offset within the 4-instruction
+	// loop body, well after the body is hot.
+	for limit := uint64(41); limit <= 45; limit++ {
+		slow := newDiffMachine(core.SchemeSP, 8, words, false)
+		fast := newDiffMachine(core.SchemeSP, 8, words, true)
+		errSlow := slow.drive(limit)
+		errFast := fast.drive(limit)
+		if errSlow == "" || errSlow != errFast {
+			t.Fatalf("limit %d: fault divergence:\n slow %q\n fast %q", limit, errSlow, errFast)
+		}
+		compareState(t, slow, fast, errSlow, errFast)
+		if tc := fast.cpu.TierCounters(); tc.BlockInstrs == 0 {
+			t.Fatalf("limit %d: block tier never executed", limit)
+		}
+	}
+}
+
+// TestBlockFaultMidBlock patches a later instruction of an executing
+// translated block into an unknown software trap: the patched word must
+// raise IllegalInstruction with the same rendered PC, CWP and cycle
+// count as the reference path (the GuestFault text embeds all three).
+func TestBlockFaultMidBlock(t *testing.T) {
+	badTrap := isa.EncodeArithImm(isa.Op3Ticc, 0, 0, 77)
+	patchAddr := uint32(diffOrigin + 8*4)
+	words := []uint32{
+		isa.EncodeArithImm(isa.Op3Or, 7, 0, 6),                      // 0: %g7 = 6 passes
+		isa.EncodeSethi(2, patchAddr>>10),                           // 1
+		isa.EncodeArithImm(isa.Op3Or, 2, 2, int32(patchAddr&0x3ff)), // 2
+		isa.EncodeSethi(1, badTrap>>10),                             // 3
+		isa.EncodeArithImm(isa.Op3Or, 1, 1, int32(badTrap&0x3ff)),   // 4
+		// loop: on the last pass the store swaps the nop-ish or below
+		// for an unknown trap, which then executes in the same pass.
+		isa.EncodeArithImm(isa.Op3SubCC, 7, 7, 1), // 5: %g7--
+		isa.EncodeBranch(isa.CondNE, 3),           // 6: bne skip (word 9)
+		isa.EncodeMem(isa.Op3St, 1, 2, 0),         // 7: st %g1, [%g2] — patches word 8...
+		isa.EncodeArithImm(isa.Op3Or, 3, 0, 1),    // 8: PATCHED target
+		// skip:
+		isa.EncodeArith(isa.Op3Add, 4, 4, 3),                // 9: %g4 += %g3
+		isa.EncodeBranch(isa.CondA, -5),                     // 10: ba loop (word 5)
+		isa.EncodeArithImm(isa.Op3Ticc, 0, 0, isa.TrapHalt), // 11
+	}
+	// The store at word 7 runs only on the final pass (when the branch
+	// at word 6 falls through), and the patched word 8 executes right
+	// after it — inside the same translated block as the store.
+	for _, s := range core.Schemes {
+		t.Run(fmt.Sprintf("%v", s), func(t *testing.T) {
+			slow := newDiffMachine(s, 4, words, false)
+			fast := newDiffMachine(s, 4, words, true)
+			errSlow := slow.drive(100_000)
+			errFast := fast.drive(100_000)
+			compareState(t, slow, fast, errSlow, errFast)
+			if !strings.Contains(errFast, "unknown software trap 77") {
+				t.Fatalf("expected the patched trap to fault, got %q", errFast)
+			}
+		})
+	}
+}
+
+// TestBlockBlacklistUntranslatable points a hot loop at an entry whose
+// first word cannot be translated (an unknown op3): the dispatcher must
+// blacklist the entry instead of re-translating every pass, and the
+// program must still fault identically to the reference path when the
+// word executes.
+func TestBlockBlacklistUntranslatable(t *testing.T) {
+	words := []uint32{
+		isa.EncodeArith(0x2b, 1, 1, 1), // unknown arith op3 faults on execution
+	}
+	slow := newDiffMachine(core.SchemeSP, 4, words, false)
+	fast := newDiffMachine(core.SchemeSP, 4, words, true)
+	errSlow := slow.drive(100)
+	errFast := fast.drive(100)
+	compareState(t, slow, fast, errSlow, errFast)
+	if !strings.Contains(errFast, "unsupported op3") {
+		t.Fatalf("expected an illegal-instruction fault, got %q", errFast)
+	}
+}
+
+// TestDefaultTier checks NewCPU follows the process default.
+func TestDefaultTier(t *testing.T) {
+	old := isa.DefaultTier()
+	defer isa.SetDefaultTier(old)
+
+	isa.SetDefaultTier(isa.TierSlow)
+	m := isa.NewMachine(core.SchemeSP, 8)
+	words := countLoop()
+	for i, w := range words {
+		m.Mem.Store32(0x1000+uint32(4*i), w)
+	}
+	cpu, err := m.RunProgram(0x1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc := cpu.TierCounters(); tc.ReferenceInstrs == 0 || tc.BlockInstrs != 0 || tc.FastInstrs != 0 {
+		t.Fatalf("SetDefaultTier(slow) not honoured: %+v", tc)
+	}
+}

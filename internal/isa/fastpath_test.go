@@ -42,6 +42,11 @@ func newDiffMachine(s core.Scheme, windows int, words []uint32, fast bool) *diff
 	m.Mgr.SetReg(regwin.RegSP, 0x0800000)
 	cpu := isa.NewCPU(m.Mgr, m.Mem)
 	cpu.SetFastPath(fast)
+	// A low translation threshold routes even these short differential
+	// programs through the block tier on their first re-execution, so
+	// every parity test in this file also pins block-translated
+	// execution against the reference path.
+	cpu.SetBlockThreshold(2)
 	cpu.SetPC(diffOrigin)
 	return &diffMachine{mgr: m.Mgr, mem: m.Mem, cpu: cpu}
 }

@@ -18,6 +18,11 @@ type Machine struct {
 	// the fast path; the differential and parity tests use it to compare
 	// the two.
 	SlowPath bool
+
+	// Tier selects the interpreter tier RunProgram uses; the zero value
+	// (TierDefault) follows the process default. SlowPath, when set,
+	// wins (it predates Tier and the parity tests rely on it).
+	Tier Tier
 }
 
 // NewMachine builds a machine with the given scheme and window count.
@@ -38,7 +43,10 @@ func (m *Machine) RunProgram(entry uint32, limit uint64) (*CPU, error) {
 	m.Mgr.Switch(t)
 	m.Mgr.SetReg(regwin.RegSP, guestStackTop)
 	cpu := NewCPU(m.Mgr, m.Mem)
-	cpu.SetFastPath(!m.SlowPath)
+	cpu.SetTier(m.Tier)
+	if m.SlowPath {
+		cpu.SetTier(TierSlow)
+	}
 	cpu.SetPC(entry)
 	for {
 		yielded, err := cpu.Run(limit)
@@ -70,7 +78,9 @@ func ThreadBodySlow(mgr core.Manager, memory *mem.Memory, entry, sp uint32, limi
 func threadBody(mgr core.Manager, memory *mem.Memory, entry, sp uint32, limit uint64, console *[]byte, fast bool) func(*sched.Env) {
 	return func(e *sched.Env) {
 		cpu := NewCPU(mgr, memory)
-		cpu.SetFastPath(fast)
+		if !fast {
+			cpu.SetTier(TierSlow)
+		}
 		cpu.SetPC(entry)
 		mgr.SetReg(regwin.RegSP, sp)
 		for {

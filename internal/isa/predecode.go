@@ -65,22 +65,47 @@ func (ic *icache) dropAll() {
 }
 
 // invalidate clears the decoded bits of every cached word overlapping
-// the stored range [addr, addr+n). It runs on the store hot path, so
-// the common case — a store nowhere near cached text — must exit on
-// the bounds compare.
+// the stored range [addr, addr+n) — slot-granular, so a store into
+// cached text forces a re-decode of only the overwritten words, never a
+// whole-page rescan. It runs on the store hot path, so the common case
+// — a store nowhere near cached text — must exit on the bounds
+// compare, and a store that does hit text costs one page lookup per
+// overlapped page (one range clear each) instead of a map lookup per
+// overlapped word.
 func (ic *icache) invalidate(addr, n uint32) {
 	end := addr + n - 1 // inclusive; n >= 1
 	if end < addr {
 		end = ^uint32(0) // clamp a store wrapping past the top of memory
 	}
-	if addr>>icachePageShift > ic.hi || end>>icachePageShift < ic.lo {
+	firstPage, lastPage := addr>>icachePageShift, end>>icachePageShift
+	if firstPage > ic.hi || lastPage < ic.lo {
 		return
 	}
-	for a, last := addr&^3, end&^3; ; a += 4 {
-		if p := ic.pages[a>>icachePageShift]; p != nil {
-			p.decoded[(a&icachePageMask)>>2] = false
+	// Walk only cached pages; a partial clear applies only on the pages
+	// actually containing the range ends.
+	first, last := firstPage, lastPage
+	if first < ic.lo {
+		first = ic.lo
+	}
+	if last > ic.hi {
+		last = ic.hi
+	}
+	for pn := first; ; pn++ {
+		if p := ic.pages[pn]; p != nil {
+			lo, hi := uint32(0), uint32(icachePageWords-1)
+			if pn == firstPage {
+				lo = (addr & icachePageMask) >> 2
+			}
+			if pn == lastPage {
+				hi = (end & icachePageMask) >> 2
+			}
+			if lo == 0 && hi == icachePageWords-1 {
+				p.decoded = [icachePageWords]bool{} // page-covering store: one memclr
+			} else {
+				clear(p.decoded[lo : hi+1])
+			}
 		}
-		if a == last {
+		if pn == last {
 			return
 		}
 	}

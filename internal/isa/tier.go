@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cyclicwin/internal/stats"
+)
+
+// Tier selects which interpreter tier a CPU runs through. The ladder,
+// fastest first:
+//
+//	TierBlock — translated basic blocks (blocks.go), falling back to the
+//	            fast per-instruction path for cold or invalidated code,
+//	            and to the reference path where the fast path does.
+//	TierFast  — the per-instruction fast path only (predecode +
+//	            devirtualized windows + batched cycles, fast.go).
+//	TierSlow  — the reference Step loop, the semantic authority.
+//
+// All three are byte-identical in every observable; the tiers trade
+// translation complexity for speed, never semantics.
+type Tier int
+
+const (
+	// TierDefault resolves to the process default (SetDefaultTier).
+	TierDefault Tier = iota
+	TierBlock
+	TierFast
+	TierSlow
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierBlock:
+		return "block"
+	case TierFast:
+		return "fast"
+	case TierSlow:
+		return "slow"
+	default:
+		return "default"
+	}
+}
+
+// ParseTier parses a -tier flag value.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "block":
+		return TierBlock, nil
+	case "fast":
+		return TierFast, nil
+	case "slow":
+		return TierSlow, nil
+	default:
+		return TierDefault, fmt.Errorf("isa: unknown tier %q (want block, fast or slow)", s)
+	}
+}
+
+// defaultTier is the tier NewCPU starts CPUs on; commands set it from
+// their -tier flag before any simulation runs, but it is atomic so a
+// serving process may flip it while CPUs execute elsewhere.
+var defaultTier atomic.Int32
+
+func init() { defaultTier.Store(int32(TierBlock)) }
+
+// SetDefaultTier sets the process-wide tier newly created CPUs use.
+func SetDefaultTier(t Tier) {
+	if t == TierDefault {
+		t = TierBlock
+	}
+	defaultTier.Store(int32(t))
+}
+
+// DefaultTier returns the process-wide default interpreter tier.
+func DefaultTier() Tier { return Tier(defaultTier.Load()) }
+
+// tierGlobals aggregates interpreter-tier counters across every CPU in
+// the process, so a serving layer (winsimd /metrics) can report how
+// many instructions retired on each tier and how the block cache
+// behaves. CPUs count locally (free on the hot path) and publish deltas
+// when Run returns.
+var tierGlobals struct {
+	block, fast, ref       atomic.Uint64
+	hits, misses, kills    atomic.Uint64
+}
+
+// publishTierStats pushes the CPU-local counter deltas accumulated
+// since the last publish into the process-wide totals.
+func (c *CPU) publishTierStats() {
+	t, p := &c.tstat, &c.tpub
+	if d := t.BlockInstrs - p.BlockInstrs; d != 0 {
+		tierGlobals.block.Add(d)
+	}
+	if d := t.FastInstrs - p.FastInstrs; d != 0 {
+		tierGlobals.fast.Add(d)
+	}
+	if d := t.ReferenceInstrs - p.ReferenceInstrs; d != 0 {
+		tierGlobals.ref.Add(d)
+	}
+	if d := t.BlockCacheHits - p.BlockCacheHits; d != 0 {
+		tierGlobals.hits.Add(d)
+	}
+	if d := t.BlockCacheMisses - p.BlockCacheMisses; d != 0 {
+		tierGlobals.misses.Add(d)
+	}
+	if d := t.BlockCacheInvalidations - p.BlockCacheInvalidations; d != 0 {
+		tierGlobals.kills.Add(d)
+	}
+	*p = *t
+}
+
+// TierSnapshot returns the process-wide interpreter-tier counters:
+// instructions retired per tier and block-cache hits, misses and
+// invalidations, summed over every CPU whose Run has returned (plus
+// published portions of still-running ones).
+func TierSnapshot() stats.InterpCounters {
+	return stats.InterpCounters{
+		BlockInstrs:             tierGlobals.block.Load(),
+		FastInstrs:              tierGlobals.fast.Load(),
+		ReferenceInstrs:         tierGlobals.ref.Load(),
+		BlockCacheHits:          tierGlobals.hits.Load(),
+		BlockCacheMisses:        tierGlobals.misses.Load(),
+		BlockCacheInvalidations: tierGlobals.kills.Load(),
+	}
+}
+
+// TierCounters returns this CPU's own cumulative tier counters.
+func (c *CPU) TierCounters() stats.InterpCounters { return c.tstat }
+
+// SetTier pins this CPU to one interpreter tier. TierDefault re-reads
+// the process default.
+func (c *CPU) SetTier(t Tier) {
+	if t == TierDefault {
+		t = DefaultTier()
+	}
+	c.fast = t != TierSlow
+	c.blockTier = t == TierBlock
+}
+
+// SetBlockThreshold sets how many dispatches an entry PC must see
+// before it is translated (minimum 1). Tests lower it to route short
+// programs through the block tier; the default keeps translation off
+// one-shot code.
+func (c *CPU) SetBlockThreshold(n int) {
+	switch {
+	case n < 1:
+		n = 1
+	case n > 255:
+		n = 255
+	}
+	c.blockHot = uint8(n)
+}

@@ -11,6 +11,8 @@ import (
 	"testing"
 	"time"
 
+	"cyclicwin/internal/core"
+	"cyclicwin/internal/isa"
 	"cyclicwin/internal/obs/promtest"
 )
 
@@ -95,11 +97,30 @@ func TestPrometheusExposition(t *testing.T) {
 		"winsimd_cache_hits_total", "winsimd_job_latency_seconds",
 		"winsim_cells_simulated_total", "winsim_context_switches_total",
 		"winsim_window_traps_total", "winsim_windows_transferred_total",
-		"winsim_switch_cost_cycles",
+		"winsim_switch_cost_cycles", "winsim_interp_instrs_total",
+		"winsim_block_cache_hits_total", "winsim_block_cache_misses_total",
+		"winsim_block_cache_invalidations_total",
 	} {
 		if _, ok := fams[name]; !ok {
 			t.Errorf("family %s missing from exposition", name)
 		}
+	}
+
+	// The interpreter-tier families are process-wide: any guest code
+	// executed in this process shows up on the next scrape. Cells are
+	// manager-level simulations (no interpreter), so run a small guest
+	// loop here and re-scrape to prove the counters flow through.
+	runGuestLoop(t)
+	_, text2 := getBody(t, ts.URL+"/metrics")
+	fams2, err := promtest.Parse(text2)
+	if err != nil {
+		t.Fatalf("exposition does not parse after guest run: %v", err)
+	}
+	if v := sampleValue(t, fams2, "winsim_interp_instrs_total", "tier", "block"); v <= 0 {
+		t.Errorf("winsim_interp_instrs_total{tier=block} = %v, want > 0 after a guest run", v)
+	}
+	if f := fams2["winsim_block_cache_hits_total"]; f == nil || len(f.Samples) == 0 || f.Samples[0].Value <= 0 {
+		t.Errorf("winsim_block_cache_hits_total not populated: %+v", f)
 	}
 
 	done := sampleValue(t, fams, "winsimd_jobs_total", "state", "done")
@@ -299,4 +320,40 @@ func TestMetricsJSONNegotiation(t *testing.T) {
 	if m.Workers == 0 {
 		t.Fatalf("JSON snapshot looks empty: %+v", m)
 	}
+}
+
+// runGuestLoop executes a hot guest loop on the block tier so the
+// process-wide interpreter counters advance for the /metrics test.
+func runGuestLoop(t *testing.T) {
+	t.Helper()
+	m := isa.NewMachine(core.SchemeSP, 8)
+	words := []uint32{
+		isa.EncodeArithImm(isa.Op3Or, 7, 0, 100),
+		isa.EncodeArithImm(isa.Op3Add, 1, 1, 1),
+		isa.EncodeArithImm(isa.Op3SubCC, 7, 7, 1),
+		isa.EncodeBranch(isa.CondNE, -2),
+		isa.EncodeArithImm(isa.Op3Ticc, 0, 0, isa.TrapHalt),
+	}
+	for i, w := range words {
+		m.Mem.Store32(0x1000+uint32(4*i), w)
+	}
+	m.Tier = isa.TierBlock
+	if _, err := m.RunProgram(0x1000, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// getBody GETs a URL and returns the response and its body as text.
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
 }

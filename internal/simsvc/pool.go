@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cyclicwin/internal/harness"
+	"cyclicwin/internal/isa"
 	"cyclicwin/internal/stats"
 )
 
@@ -441,6 +442,14 @@ func (p *Pool) execute(spec JobSpec) (*JobResult, error) {
 		return (*h)(spec)
 	}
 	start := time.Now()
+	// Interpreter-tier attribution: the per-CPU tier counters publish
+	// into the process-wide snapshot when each guest CPU finishes, so
+	// the delta across the job covers whatever interpreter work it did
+	// (zero for pure window-manager sweeps). Like ElapsedMS, this is an
+	// execution-layer annotation: concurrent jobs may shift instructions
+	// between each other's deltas, and CellResult — the byte-compared
+	// part of a result — never includes it.
+	t0 := isa.TierSnapshot()
 	res := &JobResult{Spec: spec}
 	if spec.Experiment == ExperimentCell {
 		cr, jt, err := runCell(spec)
@@ -460,6 +469,9 @@ func (p *Pool) execute(spec JobSpec) (*JobResult, error) {
 		agg := &stats.Counters{}
 		res.Output, res.CSV = e.Run(spec.Sizes(), spec.WindowList, p.countingRunner(agg))
 		res.Counters = agg
+	}
+	if res.Counters != nil {
+		res.Counters.Interp = isa.TierSnapshot().Sub(t0)
 	}
 	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"io"
 	"sort"
 
+	"cyclicwin/internal/isa"
 	"cyclicwin/internal/obs"
 )
 
@@ -100,6 +101,21 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 		b, sum, count := obs.DistributionBuckets(&d)
 		pw.Histogram("winsim_switch_cost_cycles", obs.L("scheme", s), b, sum, count)
 	}
+
+	// Interpreter-tier counters are process-wide (every guest CPU
+	// publishes when it finishes a run), not per-scheme: the tier split
+	// is a property of the interpreter, not the window manager.
+	interp := isa.TierSnapshot()
+	pw.Header("winsim_interp_instrs_total", "Guest instructions retired, by interpreter tier.", "counter")
+	pw.Sample("winsim_interp_instrs_total", obs.L("tier", "block"), float64(interp.BlockInstrs))
+	pw.Sample("winsim_interp_instrs_total", obs.L("tier", "fast"), float64(interp.FastInstrs))
+	pw.Sample("winsim_interp_instrs_total", obs.L("tier", "reference"), float64(interp.ReferenceInstrs))
+	pw.Header("winsim_block_cache_hits_total", "Translated-block cache hits (one per block entered).", "counter")
+	pw.Sample("winsim_block_cache_hits_total", nil, float64(interp.BlockCacheHits))
+	pw.Header("winsim_block_cache_misses_total", "Translated-block cache misses (cold or blacklisted entries).", "counter")
+	pw.Sample("winsim_block_cache_misses_total", nil, float64(interp.BlockCacheMisses))
+	pw.Header("winsim_block_cache_invalidations_total", "Translated blocks killed by overlapping guest stores.", "counter")
+	pw.Sample("winsim_block_cache_invalidations_total", nil, float64(interp.BlockCacheInvalidations))
 
 	return pw.Err()
 }
