@@ -23,12 +23,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"cyclicwin/internal/check"
 	"cyclicwin/internal/cluster"
@@ -36,6 +38,7 @@ import (
 	"cyclicwin/internal/fault"
 	"cyclicwin/internal/harness"
 	"cyclicwin/internal/isa"
+	"cyclicwin/internal/netfault"
 	"cyclicwin/internal/obs"
 	"cyclicwin/internal/sched"
 	"cyclicwin/internal/simsvc"
@@ -62,7 +65,33 @@ func main() {
 	checkLen := flag.Int("checklen", 400, "with -check: length of each random sequence")
 	checkSeed := flag.Uint64("checkseed", 1, "with -check: base seed for the random sequences")
 	tierFlag := flag.String("tier", "", "interpreter tier for guest machine code run in-process: block, fast or slow (default block)")
+	netfaultSpec := flag.String("netfault", "", "with -cluster: inject seeded network faults into outbound requests, e.g. \"seed=42,drop=0.1,delay=30ms:0.25,corrupt=0.05\" (empty = off)")
+	budget := flag.Duration("budget", 0, "with -cluster: per-sweep routing deadline; cells past it skip the network and run inline (0 = none)")
+	leakCheck := flag.Bool("leakcheck", false, "verify at exit that no goroutines outlive the run (chaos-harness assertion)")
 	flag.Parse()
+
+	if *leakCheck {
+		// Registered before any worker pool or cluster node exists, so
+		// this runs after their deferred Closes: anything still alive then
+		// is a genuine leak.
+		baseline := runtime.NumGoroutine()
+		defer func() {
+			deadline := time.Now().Add(3 * time.Second)
+			n := runtime.NumGoroutine()
+			for n > baseline && time.Now().Before(deadline) {
+				if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+					tr.CloseIdleConnections() // idle keep-alives are not leaks
+				}
+				time.Sleep(25 * time.Millisecond)
+				n = runtime.NumGoroutine()
+			}
+			if n > baseline {
+				fmt.Fprintf(os.Stderr, "winsim: leakcheck: %d goroutines at exit, %d at start\n", n, baseline)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "winsim: leakcheck: clean (%d goroutines)\n", n)
+		}()
+	}
 
 	if *tierFlag != "" {
 		t, err := isa.ParseTier(*tierFlag)
@@ -164,15 +193,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
 			os.Exit(1)
 		}
-		node := cluster.NewNode("", members, cluster.NodeConfig{
+		nf, err := netfault.FromSpec(*netfaultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
+			os.Exit(2)
+		}
+		nodeCfg := cluster.NodeConfig{
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "winsim: "+format+"\n", args...)
 			},
-		})
+		}
+		if nf != nil {
+			nodeCfg.Transport = nf
+			fmt.Fprintf(os.Stderr, "winsim: netfault armed: %s\n", *netfaultSpec)
+		}
+		node := cluster.NewNode("", members, nodeCfg)
 		defer node.Close()
 		node.StartProber()
 		cache.SetRemote(node.PeerCache())
-		coord := cluster.NewCoordinator(node, cluster.CoordinatorConfig{Cache: cache})
+		coord := cluster.NewCoordinator(node, cluster.CoordinatorConfig{Cache: cache, SweepTimeout: *budget})
 		runner = coord.Runner()
 		defer func() {
 			snap := node.Metrics().Snapshot()
@@ -182,6 +221,13 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "winsim: cluster — %d cells routed across %d workers, %d retried, %d inline, %d peer fills\n",
 				routed, len(members), snap.Retried, snap.Local, snap.PeerFills)
+			fmt.Fprintf(os.Stderr, "winsim: resilience — %d peer rejects, %d hedges (%d won), %d cells past the sweep budget\n",
+				snap.PeerRejects, snap.Hedges, snap.HedgeWins, snap.DeadlineExpired)
+			if nf != nil {
+				st := nf.Stats()
+				fmt.Fprintf(os.Stderr, "winsim: netfault — %d requests: %d dropped, %d delayed, %d cut, %d 5xx, %d truncated, %d corrupted\n",
+					st.Requests, st.Dropped, st.Delayed, st.Cut, st.Injected, st.Truncated, st.Corrupted)
+			}
 		}()
 	case *parallel:
 		cache, err := simsvc.NewCache(0, *cacheDir)

@@ -46,6 +46,7 @@ import (
 
 	"cyclicwin/internal/cluster"
 	"cyclicwin/internal/isa"
+	"cyclicwin/internal/netfault"
 	"cyclicwin/internal/simsvc"
 )
 
@@ -87,6 +88,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated URLs of the other cluster members")
 	join := flag.String("join", "", "URL of a running member to announce this node to")
 	tierFlag := flag.String("tier", "", "interpreter tier for guest machine code run in-process: block, fast or slow (default block)")
+	netfaultSpec := flag.String("netfault", "", "inject seeded network faults into this node's outbound requests, e.g. \"seed=42,drop=0.1,delay=30ms:0.25,corrupt=0.05\" (empty = off)")
+	sweepBudget := flag.Duration("sweepbudget", 0, "per-sweep routing deadline for distributed experiments; expired cells run inline (0 = none)")
 	flag.Parse()
 
 	if *tierFlag != "" {
@@ -106,9 +109,18 @@ func main() {
 	if self == "" {
 		self = selfURL(*addr)
 	}
-	node := cluster.NewNode(self, splitPeers(*peers), cluster.NodeConfig{
+	nf, err := netfault.FromSpec(*netfaultSpec)
+	if err != nil {
+		log.Fatalf("winsimd: %v", err)
+	}
+	nodeCfg := cluster.NodeConfig{
 		Logf: log.Printf,
-	})
+	}
+	if nf != nil {
+		nodeCfg.Transport = nf
+		log.Printf("winsimd: netfault armed: %s", *netfaultSpec)
+	}
+	node := cluster.NewNode(self, splitPeers(*peers), nodeCfg)
 	defer node.Close()
 	cache.SetRemote(node.PeerCache())
 
@@ -124,9 +136,10 @@ func main() {
 		// In a cluster, named experiments fan their cells out across the
 		// ring instead of running them all on this node's pool.
 		coord = cluster.NewCoordinator(node, cluster.CoordinatorConfig{
-			Cache:       cache,
-			CellTimeout: *timeout,
-			Logf:        log.Printf,
+			Cache:        cache,
+			CellTimeout:  *timeout,
+			SweepTimeout: *sweepBudget,
+			Logf:         log.Printf,
 		})
 		poolCfg.CellRunner = coord.Runner()
 	}

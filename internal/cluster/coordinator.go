@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -21,6 +22,13 @@ type CoordinatorConfig struct {
 	// CellTimeout bounds one cell's routed execution across all
 	// client-level retries against one worker (default 2m).
 	CellTimeout time.Duration
+	// SweepTimeout is the per-sweep routing budget (0 = none): each
+	// Runner batch gets one deadline that flows through every cell
+	// request, peer fill and client retry it triggers. When the budget
+	// is exhausted, remaining cells skip routing and run inline — the
+	// sweep still completes byte-identically, it just stops waiting on
+	// the network.
+	SweepTimeout time.Duration
 	// MaxRetries is the per-worker transport retry budget handed to the
 	// simsvc client (default 2; the coordinator separately retries on
 	// the next ring owner).
@@ -105,9 +113,17 @@ func (c *Coordinator) client(worker string) *simsvc.Client {
 
 // Runner adapts the coordinator into a harness.Runner: all cells of a
 // batch fan out concurrently (bounded by Parallelism) and results come
-// back in batch order.
+// back in batch order. Each batch gets one sweep deadline (when
+// SweepTimeout is set) that every routed request, peer fill and client
+// retry inherits — the deadline-propagation spine of the cluster.
 func (c *Coordinator) Runner() harness.Runner {
 	return func(cells []harness.CellSpec) []harness.Result {
+		ctx := context.Background()
+		if c.cfg.SweepTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.cfg.SweepTimeout)
+			defer cancel()
+		}
 		out := make([]harness.Result, len(cells))
 		var wg sync.WaitGroup
 		for i, cell := range cells {
@@ -116,7 +132,7 @@ func (c *Coordinator) Runner() harness.Runner {
 			go func(i int, cell harness.CellSpec) {
 				defer wg.Done()
 				defer func() { <-c.sem }()
-				out[i] = c.RunCell(cell)
+				out[i] = c.RunCellCtx(ctx, cell)
 			}(i, cell)
 		}
 		wg.Wait()
@@ -124,18 +140,41 @@ func (c *Coordinator) Runner() harness.Runner {
 	}
 }
 
-// RunCell answers one sweep cell: local cache (with peer fill), then
-// the ring owners in order, then inline execution.
+// RunCell answers one sweep cell with no deadline; see RunCellCtx.
 func (c *Coordinator) RunCell(cell harness.CellSpec) harness.Result {
+	return c.RunCellCtx(context.Background(), cell)
+}
+
+// RunCellCtx answers one sweep cell: local cache (with peer fill),
+// then the ring owners in order, then inline execution. The context
+// bounds every network step — cache peer fill, routed submits, client
+// retries. An expired context never loses the cell: routing is skipped
+// and the cell runs inline, because the figure's byte-identity needs
+// every cell and local compute is the one dependency that cannot
+// disappear. So a sweep deadline bounds waiting, not completion — once
+// it passes, no cell outlives it by more than its own inline runtime.
+func (c *Coordinator) RunCellCtx(ctx context.Context, cell harness.CellSpec) harness.Result {
 	spec := simsvc.CellSpec(cell)
 	hash := spec.Hash()
 
-	if res, ok := c.cfg.Cache.Get(hash); ok && res.Cell != nil {
+	if res, ok := c.cfg.Cache.Get(ctx, hash); ok && res.Cell != nil {
 		return res.Cell.HarnessResult(spec)
 	}
 
+	expired := func() bool {
+		if ctx.Err() == nil {
+			return false
+		}
+		c.node.metrics.deadlineExpire()
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("cluster: sweep budget exhausted; cell %s/w%d/%s runs inline",
+				spec.Scheme, spec.Windows, spec.Behavior)
+		}
+		return true
+	}
+
 	tried := make(map[string]bool)
-	for {
+	for !expired() {
 		owner, ok := c.nextOwner(hash, tried)
 		if !ok || owner == c.node.self {
 			break // exhausted the healthy members, or we own the cell
@@ -144,7 +183,7 @@ func (c *Coordinator) RunCell(cell harness.CellSpec) harness.Result {
 		if len(tried) > 1 {
 			c.node.metrics.cellRetried()
 		}
-		res, err := c.submit(owner, spec)
+		res, err := c.submit(ctx, owner, spec, hash)
 		if err == nil {
 			c.cfg.Cache.Put(hash, res)
 			c.node.metrics.cellRouted(owner)
@@ -184,9 +223,17 @@ func (c *Coordinator) nextOwner(hash string, tried map[string]bool) (string, boo
 	return "", false
 }
 
-// submit routes one cell to a worker and returns its completed result.
-func (c *Coordinator) submit(worker string, spec simsvc.JobSpec) (*simsvc.JobResult, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CellTimeout)
+// submit routes one cell to a worker and returns its completed,
+// verified result. The parent context (the sweep budget) caps the
+// per-cell timeout, so a routed request can never outlive the sweep
+// deadline by more than the scheduler's slack. The returned result's
+// spec must hash back to the requested key: a response that decodes
+// but describes some other job — a corrupt body that survived JSON, a
+// confused worker — is refused like a transport failure, because
+// promoting it would poison the content-addressed cache and the figure
+// built from it.
+func (c *Coordinator) submit(parent context.Context, worker string, spec simsvc.JobSpec, hash string) (*simsvc.JobResult, error) {
+	ctx, cancel := context.WithTimeout(parent, c.cfg.CellTimeout)
 	defer cancel()
 	v, err := c.client(worker).Submit(ctx, spec, true)
 	if err != nil {
@@ -194,6 +241,11 @@ func (c *Coordinator) submit(worker string, spec simsvc.JobSpec) (*simsvc.JobRes
 	}
 	if v.Result == nil || v.Result.Cell == nil {
 		return nil, errors.New("cluster: worker returned a job view without a cell result")
+	}
+	if v.Result.Spec.Hash() != hash {
+		c.node.metrics.peerReject()
+		return nil, fmt.Errorf("cluster: worker %s answered with a result for spec %s, want %s",
+			worker, v.Result.Spec.Hash()[:12], hash[:12])
 	}
 	return v.Result, nil
 }

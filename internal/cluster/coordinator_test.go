@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"sync/atomic"
@@ -189,7 +190,7 @@ func TestCoordinatorPeerFill(t *testing.T) {
 	}
 
 	// A key nobody holds is a clean miss, counted as such.
-	if _, ok := cache2.Get("deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"); ok {
+	if _, ok := cache2.Get(context.Background(), "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"); ok {
 		t.Error("an unknown hash peer-filled from somewhere")
 	}
 	if snap := node2.Metrics().Snapshot(); snap.PeerMisses == 0 {

@@ -1,65 +1,182 @@
 package cluster
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DefaultFailThreshold is the number of consecutive failures after
-// which a member is marked unhealthy and routed around.
+// which a member's breaker opens and it is routed around.
 const DefaultFailThreshold = 3
 
-// Health tracks per-member liveness from probe and request outcomes. A
-// member starts healthy, becomes unhealthy after threshold consecutive
-// failures, and recovers on the first success. Transitions invoke the
-// onChange callback (outside the lock) so the owner can rebuild its
-// routing ring.
+// DefaultOpenFor is the base cooldown an open breaker waits before
+// granting its single half-open trial request.
+const DefaultOpenFor = 5 * time.Second
+
+// BreakerState is one member's circuit-breaker state.
+type BreakerState int32
+
+const (
+	// StateClosed: the member takes traffic; failures are counted.
+	StateClosed BreakerState = iota
+	// StateOpen: the member takes no traffic until the cooldown
+	// elapses.
+	StateOpen
+	// StateHalfOpen: the cooldown elapsed and exactly one trial request
+	// is in flight; its outcome closes or re-opens the breaker.
+	StateHalfOpen
+)
+
+// String names the state (the value used in metrics labels and logs).
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// HealthConfig tunes the per-member circuit breakers.
+type HealthConfig struct {
+	// Threshold is K: consecutive failures before the breaker opens
+	// (DefaultFailThreshold when <= 0).
+	Threshold int
+	// OpenFor is the base cooldown before a half-open trial
+	// (DefaultOpenFor when <= 0). The actual cooldown is jittered by
+	// ±20% so a cluster's breakers do not re-trial in lockstep.
+	OpenFor time.Duration
+	// JitterSeed seeds the cooldown jitter (0 = time-seeded), making
+	// breaker schedules reproducible in tests.
+	JitterSeed int64
+	// Now is the clock (time.Now when nil) — injectable for tests.
+	Now func() time.Time
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultFailThreshold
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = DefaultOpenFor
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = time.Now().UnixNano()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Health tracks per-member liveness as a circuit breaker per member:
+// closed (routable) until Threshold consecutive failures open it, open
+// until a jittered cooldown elapses, then half-open for exactly one
+// trial request whose outcome closes or re-opens the breaker.
+// Routability transitions invoke the onChange callback (outside the
+// lock) so the owner can rebuild its routing ring.
+//
+// Mutations serialize on a mutex, but every mutation republishes an
+// immutable snapshot through an atomic pointer, so the request path
+// (IsHealthy, Healthy, State — consulted on every routing decision)
+// reads a coherent multi-word view wait-free, per Ianni et al.'s
+// multi-word register construction: readers never lock, never retry,
+// and never observe a half-updated member.
 type Health struct {
-	mu        sync.Mutex
-	threshold int
-	states    map[string]*memberHealth
-	onChange  func()
+	mu       sync.Mutex
+	cfg      HealthConfig
+	rng      *rand.Rand
+	states   map[string]*memberHealth
+	onChange func()
+
+	view atomic.Pointer[map[string]MemberHealth]
 }
 
 type memberHealth struct {
-	healthy  bool
-	consec   int // consecutive failures
-	probes   uint64
-	failures uint64
+	state       BreakerState
+	consec      int // consecutive failures while closed
+	probes      uint64
+	failures    uint64
+	opens       uint64 // transitions into StateOpen
+	trials      uint64 // half-open trials granted
+	openedUntil time.Time
 }
 
-// MemberHealth is a point-in-time view of one member's liveness.
+// MemberHealth is a point-in-time view of one member's breaker.
 type MemberHealth struct {
 	Member   string `json:"member"`
-	Healthy  bool   `json:"healthy"`
+	Healthy  bool   `json:"healthy"` // routable, i.e. breaker closed
+	State    string `json:"state"`   // closed | open | half-open
 	Consec   int    `json:"consecutive_failures"`
 	Probes   uint64 `json:"probes"`
 	Failures uint64 `json:"failures"`
+	Opens    uint64 `json:"breaker_opens"`
+	Trials   uint64 `json:"halfopen_trials"`
+
+	state BreakerState
 }
 
-// NewHealth creates a tracker; threshold <= 0 means
-// DefaultFailThreshold. onChange (may be nil) fires after any
-// healthy/unhealthy transition.
-func NewHealth(threshold int, onChange func()) *Health {
-	if threshold <= 0 {
-		threshold = DefaultFailThreshold
+// NewHealth creates a tracker. onChange (may be nil) fires after any
+// routability transition (closed -> open, half-open -> closed).
+func NewHealth(cfg HealthConfig, onChange func()) *Health {
+	cfg = cfg.withDefaults()
+	h := &Health{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.JitterSeed)),
+		states:   make(map[string]*memberHealth),
+		onChange: onChange,
 	}
-	return &Health{threshold: threshold, states: make(map[string]*memberHealth), onChange: onChange}
+	h.publishLocked()
+	return h
 }
 
 func (h *Health) state(member string) *memberHealth {
 	s, ok := h.states[member]
 	if !ok {
-		s = &memberHealth{healthy: true}
+		s = &memberHealth{state: StateClosed}
 		h.states[member] = s
 	}
 	return s
 }
 
-// Ensure registers a member (initially healthy) if unknown.
+// publishLocked rebuilds the immutable snapshot the request path reads.
+// Callers hold h.mu.
+func (h *Health) publishLocked() {
+	view := make(map[string]MemberHealth, len(h.states))
+	for m, s := range h.states {
+		view[m] = MemberHealth{
+			Member:   m,
+			Healthy:  s.state == StateClosed,
+			State:    s.state.String(),
+			Consec:   s.consec,
+			Probes:   s.probes,
+			Failures: s.failures,
+			Opens:    s.opens,
+			Trials:   s.trials,
+			state:    s.state,
+		}
+	}
+	h.view.Store(&view)
+}
+
+// cooldownLocked draws the jittered open interval: OpenFor scaled by
+// [0.8, 1.2], the same multiplicative-jitter shape the client's retry
+// backoff uses, so simultaneous opens spread their re-trials.
+func (h *Health) cooldownLocked() time.Duration {
+	return time.Duration(float64(h.cfg.OpenFor) * (0.8 + 0.4*h.rng.Float64()))
+}
+
+// Ensure registers a member (breaker closed) if unknown.
 func (h *Health) Ensure(member string) {
 	h.mu.Lock()
 	h.state(member)
+	h.publishLocked()
 	h.mu.Unlock()
 }
 
@@ -67,60 +184,105 @@ func (h *Health) Ensure(member string) {
 func (h *Health) Forget(member string) {
 	h.mu.Lock()
 	delete(h.states, member)
+	h.publishLocked()
 	h.mu.Unlock()
 }
 
-// ReportSuccess records a successful probe or request; an unhealthy
-// member recovers immediately.
+// ReportSuccess records a successful probe or request; an open or
+// half-open breaker closes immediately.
 func (h *Health) ReportSuccess(member string) {
 	h.mu.Lock()
 	s := h.state(member)
 	s.probes++
 	s.consec = 0
-	changed := !s.healthy
-	s.healthy = true
+	changed := s.state != StateClosed
+	s.state = StateClosed
+	h.publishLocked()
 	h.mu.Unlock()
 	if changed && h.onChange != nil {
 		h.onChange()
 	}
 }
 
-// ReportFailure records a failed probe or request; the member becomes
-// unhealthy once the consecutive-failure threshold is reached.
+// ReportFailure records a failed probe or request: a closed breaker
+// opens at the consecutive-failure threshold, a half-open breaker's
+// failed trial re-opens it for a fresh jittered cooldown.
 func (h *Health) ReportFailure(member string) {
 	h.mu.Lock()
 	s := h.state(member)
 	s.probes++
 	s.failures++
-	s.consec++
-	changed := s.healthy && s.consec >= h.threshold
-	if changed {
-		s.healthy = false
+	changed := false
+	switch s.state {
+	case StateClosed:
+		s.consec++
+		if s.consec >= h.cfg.Threshold {
+			s.state = StateOpen
+			s.opens++
+			s.openedUntil = h.cfg.Now().Add(h.cooldownLocked())
+			changed = true
+		}
+	case StateHalfOpen:
+		// The trial failed: back to open, wait out a fresh cooldown.
+		// Routability did not change (half-open members take no normal
+		// traffic), so the ring needs no rebuild.
+		s.state = StateOpen
+		s.opens++
+		s.openedUntil = h.cfg.Now().Add(h.cooldownLocked())
+	case StateOpen:
+		// Stray failure against an open breaker (e.g. an in-flight
+		// request that raced the open): counted, nothing else.
 	}
+	h.publishLocked()
 	h.mu.Unlock()
 	if changed && h.onChange != nil {
 		h.onChange()
 	}
 }
 
-// IsHealthy reports the member's current state (unknown members are
-// healthy: a member must prove itself dead, not alive, or a cluster
-// could never bootstrap).
-func (h *Health) IsHealthy(member string) bool {
+// AllowTrial claims the single half-open trial: it returns true exactly
+// once per cooldown expiry, moving the breaker open -> half-open. The
+// caller must follow up with ReportSuccess or ReportFailure for the
+// trial's outcome; every other caller keeps routing around the member.
+func (h *Health) AllowTrial(member string) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s, ok := h.states[member]
-	return !ok || s.healthy
+	if !ok || s.state != StateOpen || h.cfg.Now().Before(s.openedUntil) {
+		return false
+	}
+	s.state = StateHalfOpen
+	s.trials++
+	h.publishLocked()
+	return true
 }
 
-// Healthy filters the given members down to the healthy ones,
-// preserving order.
+// State returns the member's breaker state (unknown members are
+// closed). Wait-free: reads the published snapshot.
+func (h *Health) State(member string) BreakerState {
+	if s, ok := (*h.view.Load())[member]; ok {
+		return s.state
+	}
+	return StateClosed
+}
+
+// IsHealthy reports whether the member is routable — breaker closed.
+// Unknown members are routable: a member must prove itself dead, not
+// alive, or a cluster could never bootstrap. Wait-free: reads the
+// published snapshot without taking the lock.
+func (h *Health) IsHealthy(member string) bool {
+	s, ok := (*h.view.Load())[member]
+	return !ok || s.state == StateClosed
+}
+
+// Healthy filters the given members down to the routable ones,
+// preserving order. Wait-free: one snapshot load covers the whole
+// filter, so the result is coherent even while breakers flip.
 func (h *Health) Healthy(members []string) []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	view := *h.view.Load()
 	out := make([]string, 0, len(members))
 	for _, m := range members {
-		if s, ok := h.states[m]; !ok || s.healthy {
+		if s, ok := view[m]; !ok || s.state == StateClosed {
 			out = append(out, m)
 		}
 	}
@@ -129,12 +291,11 @@ func (h *Health) Healthy(members []string) []string {
 
 // Snapshot returns every tracked member's state, sorted by name.
 func (h *Health) Snapshot() []MemberHealth {
-	h.mu.Lock()
-	out := make([]MemberHealth, 0, len(h.states))
-	for m, s := range h.states {
-		out = append(out, MemberHealth{Member: m, Healthy: s.healthy, Consec: s.consec, Probes: s.probes, Failures: s.failures})
+	view := *h.view.Load()
+	out := make([]MemberHealth, 0, len(view))
+	for _, s := range view {
+		out = append(out, s)
 	}
-	h.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
 	return out
 }

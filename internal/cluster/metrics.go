@@ -18,8 +18,13 @@ type Metrics struct {
 	retried uint64            // re-route attempts after a worker failure
 	local   uint64            // cells executed inline by the coordinator
 
-	peerFills  uint64 // cache misses answered by a peer
-	peerMisses uint64 // peer-fill probes that found nothing
+	peerFills   uint64 // cache misses answered by a peer
+	peerMisses  uint64 // peer-fill probes that found nothing
+	peerRejects uint64 // peer-fill responses failing hash or integrity verification
+	hedges      uint64 // hedged peer-fill fetches launched
+	hedgeWins   uint64 // hedged fetches that answered first
+
+	deadlineExpired uint64 // cells that skipped routing: sweep budget exhausted
 
 	rebalances uint64 // ring rebuilds (membership or health changes)
 	joins      uint64 // join announcements accepted
@@ -27,13 +32,17 @@ type Metrics struct {
 
 // MetricsSnapshot is the point-in-time JSON/exposition view.
 type MetricsSnapshot struct {
-	Routed     map[string]uint64 `json:"cells_routed"`
-	Retried    uint64            `json:"cells_retried"`
-	Local      uint64            `json:"cells_local"`
-	PeerFills  uint64            `json:"peer_fills"`
-	PeerMisses uint64            `json:"peer_misses"`
-	Rebalances uint64            `json:"ring_rebalances"`
-	Joins      uint64            `json:"joins"`
+	Routed          map[string]uint64 `json:"cells_routed"`
+	Retried         uint64            `json:"cells_retried"`
+	Local           uint64            `json:"cells_local"`
+	PeerFills       uint64            `json:"peer_fills"`
+	PeerMisses      uint64            `json:"peer_misses"`
+	PeerRejects     uint64            `json:"peer_rejects"`
+	Hedges          uint64            `json:"peer_hedges"`
+	HedgeWins       uint64            `json:"peer_hedge_wins"`
+	DeadlineExpired uint64            `json:"cells_deadline_expired"`
+	Rebalances      uint64            `json:"ring_rebalances"`
+	Joins           uint64            `json:"joins"`
 }
 
 func (m *Metrics) cellRouted(worker string) {
@@ -84,6 +93,42 @@ func (m *Metrics) peerMiss() {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) peerReject() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.peerRejects++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) hedged() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.hedges++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) hedgeWon() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.hedgeWins++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) deadlineExpire() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.deadlineExpired++
+	m.mu.Unlock()
+}
+
 func (m *Metrics) rebalanced() {
 	if m == nil {
 		return
@@ -110,13 +155,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
-		Routed:     make(map[string]uint64, len(m.routed)),
-		Retried:    m.retried,
-		Local:      m.local,
-		PeerFills:  m.peerFills,
-		PeerMisses: m.peerMisses,
-		Rebalances: m.rebalances,
-		Joins:      m.joins,
+		Routed:          make(map[string]uint64, len(m.routed)),
+		Retried:         m.retried,
+		Local:           m.local,
+		PeerFills:       m.peerFills,
+		PeerMisses:      m.peerMisses,
+		PeerRejects:     m.peerRejects,
+		Hedges:          m.hedges,
+		HedgeWins:       m.hedgeWins,
+		DeadlineExpired: m.deadlineExpired,
+		Rebalances:      m.rebalances,
+		Joins:           m.joins,
 	}
 	for w, n := range m.routed {
 		s.Routed[w] = n

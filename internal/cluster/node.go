@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
@@ -20,17 +21,34 @@ type NodeConfig struct {
 	// Replicas is the virtual-node count per member (DefaultReplicas
 	// when <= 0).
 	Replicas int
-	// FailThreshold is K: consecutive failures before a member is
-	// unhealthy (DefaultFailThreshold when <= 0).
+	// FailThreshold is K: consecutive failures before a member's
+	// breaker opens (DefaultFailThreshold when <= 0).
 	FailThreshold int
-	// ProbeInterval is the /healthz probe period (default 2s).
+	// OpenFor is the breaker cooldown before a half-open trial
+	// (DefaultOpenFor when <= 0).
+	OpenFor time.Duration
+	// ProbeInterval is the /healthz probe period (default 2s). Each
+	// wait is jittered by ±20% so a cluster's probers cannot
+	// synchronize into probe storms.
 	ProbeInterval time.Duration
 	// PeerTimeout bounds one peer-fill fetch or probe (default 5s).
 	PeerTimeout time.Duration
 	// PeerFanout is how many ring successors a peer-fill consults
 	// before giving up (default 3).
 	PeerFanout int
-	// Logf, when non-nil, receives membership and health transitions.
+	// HedgeDelay is the peer-fill hedging delay used until enough
+	// latency samples exist to derive one from the observed p99
+	// (default 50ms; see PeerCache).
+	HedgeDelay time.Duration
+	// JitterSeed seeds the probe-interval and breaker-cooldown jitter
+	// (0 = time-seeded), making both schedules reproducible.
+	JitterSeed int64
+	// Transport, when non-nil, replaces the node HTTP client's
+	// transport — the netfault install point: one fault-injecting
+	// RoundTripper here covers the prober, the peer-fill cache and the
+	// coordinator's per-worker clients at once.
+	Transport http.RoundTripper
+	// Logf, when non-nil, receives membership and breaker transitions.
 	Logf func(format string, args ...any)
 }
 
@@ -41,6 +59,9 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.FailThreshold <= 0 {
 		c.FailThreshold = DefaultFailThreshold
 	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = DefaultOpenFor
+	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 2 * time.Second
 	}
@@ -49,6 +70,9 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	}
 	if c.PeerFanout <= 0 {
 		c.PeerFanout = 3
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 50 * time.Millisecond
 	}
 	return c
 }
@@ -64,6 +88,12 @@ type Node struct {
 	metrics *Metrics
 	httpc   *http.Client
 
+	rngMu sync.Mutex
+	rng   *rand.Rand // probe-interval jitter
+
+	peerCacheOnce sync.Once
+	peerCache     *PeerCache
+
 	mu      sync.Mutex
 	members map[string]bool
 	ring    *Ring // over healthy members; nil when dirty
@@ -78,15 +108,26 @@ type Node struct {
 // normalized to include an http:// scheme.
 func NewNode(self string, peers []string, cfg NodeConfig) *Node {
 	cfg = cfg.withDefaults()
+	jitterSeed := cfg.JitterSeed
+	if jitterSeed == 0 {
+		jitterSeed = time.Now().UnixNano()
+	}
 	n := &Node{
 		cfg:     cfg,
 		self:    NormalizeAddr(self),
 		metrics: &Metrics{},
-		httpc:   &http.Client{Timeout: cfg.PeerTimeout},
+		httpc:   &http.Client{Timeout: cfg.PeerTimeout, Transport: cfg.Transport},
+		rng:     rand.New(rand.NewSource(jitterSeed)),
 		members: make(map[string]bool),
 		stop:    make(chan struct{}),
 	}
-	n.health = NewHealth(cfg.FailThreshold, func() {
+	n.health = NewHealth(HealthConfig{
+		Threshold: cfg.FailThreshold,
+		OpenFor:   cfg.OpenFor,
+		// Offset so the breaker's cooldown draws and the prober's
+		// interval draws come from distinct deterministic streams.
+		JitterSeed: jitterSeed + 1,
+	}, func() {
 		n.invalidateRing()
 		n.metrics.rebalanced()
 	})
@@ -182,16 +223,19 @@ func (n *Node) HealthyRing() *Ring {
 }
 
 // StartProber begins periodic /healthz probing of every member except
-// self. Call Close to stop it.
+// self. Each wait is drawn independently with ±20% jitter from the
+// node's seeded RNG, so a fleet of probers started together drifts
+// apart instead of synchronizing into probe storms against a
+// recovering peer. Call Close to stop it.
 func (n *Node) StartProber() {
 	n.probing.Add(1)
 	go func() {
 		defer n.probing.Done()
-		t := time.NewTicker(n.cfg.ProbeInterval)
-		defer t.Stop()
 		for {
+			t := time.NewTimer(n.probeDelay())
 			select {
 			case <-n.stop:
+				t.Stop()
 				return
 			case <-t.C:
 				n.probeAll()
@@ -200,18 +244,43 @@ func (n *Node) StartProber() {
 	}()
 }
 
+// probeDelay draws one jittered probe wait: ProbeInterval scaled by
+// [0.8, 1.2] — the client's seedable multiplicative-jitter pattern, so
+// the same JitterSeed reproduces the same probe schedule.
+func (n *Node) probeDelay() time.Duration {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return time.Duration(float64(n.cfg.ProbeInterval) * (0.8 + 0.4*n.rng.Float64()))
+}
+
+// probeAll probes members according to their breaker state: closed
+// members get a normal liveness probe, open members are left alone
+// until the cooldown grants the single half-open trial, and a
+// half-open member (trial already in flight) is skipped entirely.
 func (n *Node) probeAll() {
 	for _, m := range n.Members() {
 		if m == n.self {
 			continue
 		}
-		n.Probe(m)
+		switch n.health.State(m) {
+		case StateClosed:
+			n.Probe(m)
+		case StateOpen:
+			if n.health.AllowTrial(m) {
+				if n.cfg.Logf != nil {
+					n.cfg.Logf("cluster: member %s half-open, sending trial probe", m)
+				}
+				n.Probe(m)
+			}
+		case StateHalfOpen:
+			// The trial's outcome will close or re-open the breaker.
+		}
 	}
 }
 
 // Probe checks one member's /healthz and feeds the outcome into the
-// health tracker. A degraded (503) response still proves liveness, so
-// it counts as success for routing purposes.
+// breaker. A degraded (503) response still proves liveness, so it
+// counts as success for routing purposes.
 func (n *Node) Probe(member string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
 	defer cancel()
@@ -221,13 +290,13 @@ func (n *Node) Probe(member string) bool {
 	if err != nil {
 		n.health.ReportFailure(member)
 		if was && !n.health.IsHealthy(member) && n.cfg.Logf != nil {
-			n.cfg.Logf("cluster: member %s marked unhealthy: %v", member, err)
+			n.cfg.Logf("cluster: member %s breaker opened: %v", member, err)
 		}
 		return false
 	}
 	n.health.ReportSuccess(member)
 	if !was && n.cfg.Logf != nil {
-		n.cfg.Logf("cluster: member %s recovered", member)
+		n.cfg.Logf("cluster: member %s recovered, breaker closed", member)
 	}
 	return true
 }
@@ -384,6 +453,25 @@ func (n *Node) WritePrometheus(w io.Writer) error {
 	for _, h := range health {
 		pw.Sample("winsimd_cluster_probe_failures_total", obs.L("member", h.Member), float64(h.Failures))
 	}
+	pw.Header("winsimd_cluster_breaker_state", "Per-member circuit-breaker state (0 = closed, 1 = open, 2 = half-open).", "gauge")
+	for _, h := range health {
+		var v float64
+		switch h.State {
+		case StateOpen.String():
+			v = 1
+		case StateHalfOpen.String():
+			v = 2
+		}
+		pw.Sample("winsimd_cluster_breaker_state", obs.L("member", h.Member), v)
+	}
+	pw.Header("winsimd_cluster_breaker_opens_total", "Breaker transitions into open, by member.", "counter")
+	for _, h := range health {
+		pw.Sample("winsimd_cluster_breaker_opens_total", obs.L("member", h.Member), float64(h.Opens))
+	}
+	pw.Header("winsimd_cluster_breaker_trials_total", "Half-open trial requests granted, by member.", "counter")
+	for _, h := range health {
+		pw.Sample("winsimd_cluster_breaker_trials_total", obs.L("member", h.Member), float64(h.Trials))
+	}
 	pw.Header("winsimd_cluster_cells_routed_total", "Sweep cells answered by a remote worker, by worker.", "counter")
 	for _, worker := range snap.workers() {
 		pw.Sample("winsimd_cluster_cells_routed_total", obs.L("worker", worker), float64(snap.Routed[worker]))
@@ -396,6 +484,14 @@ func (n *Node) WritePrometheus(w io.Writer) error {
 	pw.Sample("winsimd_cluster_peer_fills_total", nil, float64(snap.PeerFills))
 	pw.Header("winsimd_cluster_peer_misses_total", "Peer-fill probes that found no cached result.", "counter")
 	pw.Sample("winsimd_cluster_peer_misses_total", nil, float64(snap.PeerMisses))
+	pw.Header("winsimd_cluster_peer_rejects_total", "Peer-fill responses rejected by hash or integrity verification.", "counter")
+	pw.Sample("winsimd_cluster_peer_rejects_total", nil, float64(snap.PeerRejects))
+	pw.Header("winsimd_cluster_peer_hedges_total", "Hedged peer-fill fetches launched after the p99-derived delay.", "counter")
+	pw.Sample("winsimd_cluster_peer_hedges_total", nil, float64(snap.Hedges))
+	pw.Header("winsimd_cluster_peer_hedge_wins_total", "Hedged peer-fill fetches that answered before the primary.", "counter")
+	pw.Sample("winsimd_cluster_peer_hedge_wins_total", nil, float64(snap.HedgeWins))
+	pw.Header("winsimd_cluster_deadline_expired_total", "Cells that skipped routing because the sweep budget was exhausted.", "counter")
+	pw.Sample("winsimd_cluster_deadline_expired_total", nil, float64(snap.DeadlineExpired))
 	pw.Header("winsimd_cluster_ring_rebalances_total", "Routing-ring rebuilds from membership or health changes.", "counter")
 	pw.Sample("winsimd_cluster_ring_rebalances_total", nil, float64(snap.Rebalances))
 	pw.Header("winsimd_cluster_joins_total", "Join announcements accepted by this node.", "counter")

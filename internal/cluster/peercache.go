@@ -2,12 +2,25 @@ package cluster
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
+	"sync"
+	"time"
 
 	"cyclicwin/internal/simsvc"
 )
+
+// hedgeWindow is how many recent fetch latencies the hedge-delay
+// estimator keeps.
+const hedgeWindow = 128
+
+// minHedgeSamples is how many latency samples must exist before the
+// p99-derived delay replaces the configured default.
+const minHedgeSamples = 8
 
 // PeerCache is the HTTP peer-fill backend of the remote cache tier: a
 // simsvc.RemoteCache that answers a local miss by asking the healthy
@@ -16,58 +29,212 @@ import (
 // via GET /v1/cache/{hash}. Peers serve only their local tiers (memory
 // and disk), so two peers missing the same key can never recurse into
 // each other.
+//
+// Fetches are hedged against tail latency: if the in-flight fetch
+// outlives a delay derived from the observed p99 fetch latency, the
+// next ring successor is asked concurrently; the first hit wins and
+// the loser's request is cancelled. Every response is verified before
+// promotion — the returned result's spec must hash to the requested
+// key, and when the peer attached a body checksum it must match — so a
+// corrupt or misdirected peer fill is rejected (and counted) rather
+// than cached.
 type PeerCache struct {
 	node *Node
+
+	latMu sync.Mutex
+	lat   [hedgeWindow]time.Duration
+	latN  int // total samples recorded (ring index = latN % hedgeWindow)
 }
 
 // PeerCache returns the node's peer-fill backend, suitable for
-// simsvc.(*Cache).SetRemote.
-func (n *Node) PeerCache() *PeerCache { return &PeerCache{node: n} }
+// simsvc.(*Cache).SetRemote. One instance per node: the hedge-delay
+// estimator accumulates latency samples across fetches.
+func (n *Node) PeerCache() *PeerCache {
+	n.peerCacheOnce.Do(func() { n.peerCache = &PeerCache{node: n} })
+	return n.peerCache
+}
 
-// Fetch implements simsvc.RemoteCache.
+// observeLatency records one fetch round trip into the sliding window.
+func (pc *PeerCache) observeLatency(d time.Duration) {
+	pc.latMu.Lock()
+	pc.lat[pc.latN%hedgeWindow] = d
+	pc.latN++
+	pc.latMu.Unlock()
+}
+
+// hedgeDelay derives the hedging delay from the observed p99 fetch
+// latency, clamped to [5ms, PeerTimeout/2]; until minHedgeSamples
+// samples exist it is the configured default. Waiting for ~p99 means
+// hedges launch only against genuine stragglers (~1% of fetches), so
+// the duplicate-request cost stays negligible while tail latency drops
+// to the second-fastest peer's.
+func (pc *PeerCache) hedgeDelay() time.Duration {
+	pc.latMu.Lock()
+	n := pc.latN
+	if n > hedgeWindow {
+		n = hedgeWindow
+	}
+	if n < minHedgeSamples {
+		pc.latMu.Unlock()
+		return pc.node.cfg.HedgeDelay
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, pc.lat[:n])
+	pc.latMu.Unlock()
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	d := samples[(n*99+99)/100-1]
+	if min := 5 * time.Millisecond; d < min {
+		d = min
+	}
+	if max := pc.node.cfg.PeerTimeout / 2; d > max {
+		d = max
+	}
+	return d
+}
+
+// Fetch implements simsvc.RemoteCache. The caller's context bounds the
+// whole fan-out: a cancelled or expired sweep stops peer-filling
+// immediately.
 func (pc *PeerCache) Fetch(ctx context.Context, key string) (*simsvc.JobResult, bool) {
 	n := pc.node
+	if ctx.Err() != nil {
+		return nil, false
+	}
 	ring := n.HealthyRing()
-	probed := 0
+	peers := make([]string, 0, n.cfg.PeerFanout)
 	for _, peer := range ring.Successors(key, ring.Len()) {
 		if peer == n.self {
 			continue // the local tiers already missed
 		}
-		if probed >= n.cfg.PeerFanout {
+		peers = append(peers, peer)
+		if len(peers) >= n.cfg.PeerFanout {
 			break
 		}
-		probed++
-		if res, ok := pc.fetchFrom(ctx, peer, key); ok {
-			n.metrics.peerFill()
-			return res, true
-		}
 	}
-	if probed > 0 {
-		n.metrics.peerMiss()
+	if len(peers) == 0 {
+		return nil, false
+	}
+	if res, ok := pc.fetchHedged(ctx, peers, key); ok {
+		n.metrics.peerFill()
+		return res, true
+	}
+	n.metrics.peerMiss()
+	return nil, false
+}
+
+type fetchOutcome struct {
+	res    *simsvc.JobResult
+	ok     bool
+	hedged bool
+}
+
+// fetchHedged races the candidate peers: the first launches
+// immediately, and whenever the oldest in-flight fetch outlives the
+// hedge delay the next candidate launches concurrently. The first hit
+// wins and cancels every other in-flight fetch; a definite miss (404)
+// launches the next candidate without waiting for the timer. The
+// results channel is buffered for every possible launch, so cancelled
+// losers always complete their send and exit — no goroutine outlives
+// the fetch.
+func (pc *PeerCache) fetchHedged(ctx context.Context, peers []string, key string) (*simsvc.JobResult, bool) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan fetchOutcome, len(peers))
+	launched, pending := 0, 0
+	launch := func(hedged bool) {
+		if launched >= len(peers) {
+			return
+		}
+		peer := peers[launched]
+		launched++
+		pending++
+		if hedged {
+			pc.node.metrics.hedged()
+		}
+		go func() {
+			res, ok := pc.fetchFrom(ctx, peer, key)
+			results <- fetchOutcome{res: res, ok: ok, hedged: hedged}
+		}()
+	}
+	launch(false)
+	delay := pc.hedgeDelay()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	for pending > 0 {
+		select {
+		case out := <-results:
+			pending--
+			if out.ok {
+				if out.hedged {
+					pc.node.metrics.hedgeWon()
+				}
+				return out.res, true
+			}
+			launch(false) // miss or failure: next candidate, immediately
+		case <-timer.C:
+			launch(true)
+			timer.Reset(delay)
+		case <-ctx.Done():
+			return nil, false
+		}
 	}
 	return nil, false
 }
 
-func (pc *PeerCache) fetchFrom(ctx context.Context, peer, key string) (*simsvc.JobResult, bool) {
-	ctx, cancel := context.WithTimeout(ctx, pc.node.cfg.PeerTimeout)
+// fetchFrom asks one peer for the key and verifies the answer before
+// accepting it: the body must match the peer's attached checksum (when
+// present) and the decoded result's spec must hash to the requested
+// key. A verified failure of either kind is counted as a peer reject —
+// the fill is refused, but the peer is not marked unhealthy: a corrupt
+// body proves a bad link or store, not a dead member.
+func (pc *PeerCache) fetchFrom(parent context.Context, peer, key string) (*simsvc.JobResult, bool) {
+	ctx, cancel := context.WithTimeout(parent, pc.node.cfg.PeerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+key, nil)
 	if err != nil {
 		return nil, false
 	}
+	start := time.Now()
 	resp, err := pc.node.httpc.Do(req)
 	if err != nil {
 		// A dead peer shows up here before the prober notices; feed the
-		// tracker so routing reacts at request speed, not probe speed.
-		pc.node.health.ReportFailure(peer)
+		// breaker so routing reacts at request speed, not probe speed —
+		// unless the fetch lost a hedge race or the sweep was cancelled
+		// (the parent context ended), which says nothing about the peer.
+		if parent.Err() == nil {
+			pc.node.health.ReportFailure(peer)
+		}
 		return nil, false
 	}
 	defer resp.Body.Close()
+	pc.observeLatency(time.Since(start))
 	if resp.StatusCode != http.StatusOK {
 		return nil, false
 	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, false
+	}
+	if sum := resp.Header.Get(simsvc.ChecksumHeader); sum != "" {
+		digest := sha256.Sum256(data)
+		if hex.EncodeToString(digest[:]) != sum {
+			pc.node.metrics.peerReject()
+			return nil, false
+		}
+	}
 	var res simsvc.JobResult
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&res); err != nil {
+	if err := json.Unmarshal(data, &res); err != nil {
+		pc.node.metrics.peerReject()
+		return nil, false
+	}
+	if res.Spec.Hash() != key {
+		// A result for some other job: a buggy or hostile peer, or
+		// body corruption that survived JSON decoding. Promoting it
+		// would poison the content-addressed store.
+		pc.node.metrics.peerReject()
 		return nil, false
 	}
 	return &res, true

@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cyclicwin/internal/harness"
+	"cyclicwin/internal/netfault"
+	"cyclicwin/internal/simsvc"
+)
+
+// TestCoordinatorChaosByteIdentical is the tentpole end-to-end promise:
+// a sweep sharded across three live workers through a link that drops,
+// delays, corrupts and 503s requests still renders the exact bytes of
+// the serial path — the retry ladder (client backoff, ring re-route,
+// inline fallback) plus the checksum verification absorb every injected
+// fault.
+func TestCoordinatorChaosByteIdentical(t *testing.T) {
+	w1, _ := newWorker(t)
+	w2, _ := newWorker(t)
+	w3, _ := newWorker(t)
+
+	nf := netfault.New(netfault.Config{
+		Seed: 42,
+		Rules: []netfault.Rule{{
+			Peer:      "*",
+			Drop:      0.15,
+			Delay:     5 * time.Millisecond,
+			DelayProb: 0.25,
+			Err5xx:    0.05,
+			Corrupt:   0.08,
+		}},
+	})
+	node := NewNode("", []string{w1.URL, w2.URL, w3.URL}, NodeConfig{
+		Transport:  nf,
+		JitterSeed: 1,
+	})
+	defer node.Close()
+	cache, _ := simsvc.NewCache(0, "")
+	coord := NewCoordinator(node, CoordinatorConfig{Cache: cache, MaxRetries: 3})
+
+	e := figure(t, "fig11")
+	windows := []int{4, 6}
+	gotOut, gotCSV := e.Run(harness.QuickSizes, windows, coord.Runner())
+	wantOut, wantCSV := e.Run(harness.QuickSizes, windows, harness.RunSerial)
+	if gotOut != wantOut {
+		t.Errorf("figure under chaos differs from serial:\n--- chaos ---\n%s\n--- serial ---\n%s", gotOut, wantOut)
+	}
+	if gotCSV != wantCSV {
+		t.Errorf("CSV under chaos differs from serial")
+	}
+
+	st := nf.Stats()
+	if st.Requests == 0 || st.Dropped == 0 {
+		t.Errorf("chaos transport saw no action: %+v", st)
+	}
+	t.Logf("netfault: %+v", st)
+	t.Logf("cluster: %+v", node.Metrics().Snapshot())
+}
+
+// hostOf extracts host:port from an httptest URL.
+func hostOf(t *testing.T, rawurl string) string {
+	t.Helper()
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// TestCoordinatorPartitionHeals cuts the coordinator off from one
+// worker mid-cluster: cells owned by the unreachable member re-route,
+// the figure stays byte-identical, and after healing the pair the
+// member serves again.
+func TestCoordinatorPartitionHeals(t *testing.T) {
+	w1, _ := newWorker(t)
+	w2, _ := newWorker(t)
+
+	net := &netfault.Partitions{}
+	nf := netfault.New(netfault.Config{Seed: 7})
+	nf.Self = "coordinator"
+	nf.Net = net
+	net.Cut("coordinator", hostOf(t, w2.URL))
+
+	node := NewNode("", []string{w1.URL, w2.URL}, NodeConfig{Transport: nf, JitterSeed: 1})
+	defer node.Close()
+	cache, _ := simsvc.NewCache(0, "")
+	coord := NewCoordinator(node, CoordinatorConfig{Cache: cache, MaxRetries: 1})
+
+	e := figure(t, "fig11")
+	gotOut, _ := e.Run(harness.QuickSizes, []int{4}, coord.Runner())
+	wantOut, _ := e.Run(harness.QuickSizes, []int{4}, harness.RunSerial)
+	if gotOut != wantOut {
+		t.Errorf("figure across a partition differs from serial:\n%s", gotOut)
+	}
+	snap := node.Metrics().Snapshot()
+	if snap.Routed[NormalizeAddr(w2.URL)] != 0 {
+		t.Errorf("%d cells recorded as answered across a severed link", snap.Routed[NormalizeAddr(w2.URL)])
+	}
+
+	// Heal and verify the member answers probes again.
+	net.Heal("coordinator", hostOf(t, w2.URL))
+	if !node.Probe(NormalizeAddr(w2.URL)) {
+		t.Error("healed member still unreachable")
+	}
+}
+
+// peerResult builds a small valid JobResult and its content hash.
+func peerResult() (*simsvc.JobResult, string) {
+	spec := simsvc.JobSpec{Experiment: simsvc.ExperimentCell, Scheme: "NS", Windows: 4, Behavior: "high-fine"}
+	spec = spec.Normalize()
+	return &simsvc.JobResult{Spec: spec, Cell: &simsvc.CellResult{Cycles: 1}}, spec.Hash()
+}
+
+// cachePeer is an httptest server acting as a peer-fill source for one
+// key, with a configurable response delay.
+func cachePeer(t *testing.T, key string, res *simsvc.JobResult, delay *time.Duration, mu *sync.Mutex) *httptest.Server {
+	t.Helper()
+	body, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		d := *delay
+		mu.Unlock()
+		if d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if r.URL.Path != "/v1/cache/"+key {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestPeerFillHedgeWins pins the hedging contract: when the primary
+// peer stalls past the hedge delay, the second ring successor is asked
+// concurrently, its answer wins, and the straggler's goroutine drains
+// (no leak). The primary/secondary roles are read off the ring, so the
+// test controls which member stalls.
+func TestPeerFillHedgeWins(t *testing.T) {
+	res, key := peerResult()
+	var mu sync.Mutex
+	dA, dB := time.Duration(0), time.Duration(0)
+	pA := cachePeer(t, key, res, &dA, &mu)
+	pB := cachePeer(t, key, res, &dB, &mu)
+
+	// A dedicated transport so the leak check below can drain this
+	// test's own keep-alive connections without touching the shared
+	// http.DefaultTransport.
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	node := NewNode("", []string{pA.URL, pB.URL}, NodeConfig{
+		HedgeDelay: 20 * time.Millisecond,
+		JitterSeed: 1,
+		Transport:  tr,
+	})
+	defer node.Close()
+
+	// Whichever peer the ring ranks first for this key becomes the
+	// straggler: it hangs long past the hedge delay (but well under
+	// PeerTimeout), so the win must come from the hedge.
+	ring := node.HealthyRing()
+	primary := ring.Successors(key, 1)[0]
+	mu.Lock()
+	if primary == NormalizeAddr(pA.URL) {
+		dA = 2 * time.Second
+	} else {
+		dB = 2 * time.Second
+	}
+	mu.Unlock()
+
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	got, ok := node.PeerCache().Fetch(context.Background(), key)
+	if !ok || got.Spec.Hash() != key {
+		t.Fatalf("hedged fetch failed: ok=%v", ok)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("fetch took %v: the hedge did not preempt the stalled primary", elapsed)
+	}
+	snap := node.Metrics().Snapshot()
+	if snap.Hedges == 0 || snap.HedgeWins == 0 {
+		t.Errorf("metrics = %+v, want a hedge launch and a hedge win", snap)
+	}
+
+	// The cancelled straggler must drain: its server handler aborts on
+	// request-context cancellation and the fetch goroutine exits through
+	// the buffered results channel. Idle keep-alive connection loops are
+	// not leaks — close them so only a genuinely stuck fetch remains.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		tr.CloseIdleConnections()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked by the hedged fetch: %d before, %d after", before, n)
+	}
+}
+
+// TestPeerFillRejectsCorruptBody: a peer whose responses are corrupted
+// in flight must never have its answer promoted — the checksum (or,
+// absent one, the spec-hash) verification refuses the fill and counts a
+// reject.
+func TestPeerFillRejectsCorruptBody(t *testing.T) {
+	w1, pool1 := newWorker(t)
+
+	// Prime the worker's cache by running a cell through it.
+	cl := simsvc.NewClient(w1.URL)
+	spec := simsvc.JobSpec{Experiment: simsvc.ExperimentCell, Scheme: "NS", Windows: 4, Behavior: "high-fine"}.Normalize()
+	v, err := cl.Submit(context.Background(), spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := v.Result.Spec.Hash()
+	if _, ok := pool1.Cache().GetLocal(key); !ok {
+		t.Fatal("worker did not cache the computed cell")
+	}
+
+	// Every response body through this node's client gets one byte
+	// flipped; the peer's checksum header no longer matches.
+	nf := netfault.New(netfault.Config{
+		Seed:  11,
+		Rules: []netfault.Rule{{Peer: "*", Corrupt: 1}},
+	})
+	node := NewNode("", []string{w1.URL}, NodeConfig{Transport: nf, JitterSeed: 1})
+	defer node.Close()
+
+	if _, ok := node.PeerCache().Fetch(context.Background(), key); ok {
+		t.Fatal("a corrupted peer fill was accepted")
+	}
+	snap := node.Metrics().Snapshot()
+	if snap.PeerRejects == 0 {
+		t.Errorf("metrics = %+v, want at least one peer reject", snap)
+	}
+	if snap.PeerFills != 0 {
+		t.Errorf("%d corrupted fills were counted as successes", snap.PeerFills)
+	}
+}
+
+// TestSweepDeadlineExpiredStillByteIdentical: an already-exhausted
+// sweep budget must skip all routing (counted per cell) yet still
+// complete the sweep inline with serial-identical bytes — the deadline
+// bounds waiting, never completion.
+func TestSweepDeadlineExpiredStillByteIdentical(t *testing.T) {
+	w1, pool1 := newWorker(t)
+
+	node := NewNode("", []string{w1.URL}, NodeConfig{JitterSeed: 1})
+	defer node.Close()
+	cache, _ := simsvc.NewCache(0, "")
+	coord := NewCoordinator(node, CoordinatorConfig{Cache: cache, SweepTimeout: time.Nanosecond})
+
+	e := figure(t, "fig11")
+	gotOut, _ := e.Run(harness.QuickSizes, []int{4}, coord.Runner())
+	wantOut, _ := e.Run(harness.QuickSizes, []int{4}, harness.RunSerial)
+	if gotOut != wantOut {
+		t.Errorf("deadline-expired sweep differs from serial:\n%s", gotOut)
+	}
+
+	snap := node.Metrics().Snapshot()
+	if snap.DeadlineExpired == 0 {
+		t.Error("no cell counted the exhausted sweep budget")
+	}
+	if len(snap.Routed) != 0 {
+		t.Errorf("cells routed despite an expired budget: %v", snap.Routed)
+	}
+	if snap.Local == 0 {
+		t.Error("no cells ran inline under the expired budget")
+	}
+	if pool1.Metrics().JobsDone != 0 {
+		t.Errorf("the worker ran %d jobs although the budget had expired", pool1.Metrics().JobsDone)
+	}
+}
+
+// TestProbeJitterDeterministic: the same JitterSeed draws the same
+// probe schedule (and different seeds diverge), within the ±20% band —
+// reproducible chaos runs need reproducible probing.
+func TestProbeJitterDeterministic(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		n := NewNode("", nil, NodeConfig{ProbeInterval: time.Second, JitterSeed: seed})
+		defer n.Close()
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = n.probeDelay()
+		}
+		return out
+	}
+	a, b := draw(5), draw(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged under one seed: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 800*time.Millisecond || a[i] > 1200*time.Millisecond {
+			t.Fatalf("draw %d = %v outside the ±20%% band", i, a[i])
+		}
+	}
+	c := draw(6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two different seeds drew identical probe schedules")
+	}
+}

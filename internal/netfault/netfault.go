@@ -1,0 +1,384 @@
+// Package netfault injects reproducible network misbehavior at the
+// http.RoundTripper boundary — the cluster-layer sibling of
+// internal/fault's guest chaos injector. A Transport wraps a real
+// transport and, driven by a seeded deterministic RNG, drops requests,
+// delays them, severs partitioned host pairs, truncates or corrupts
+// response bodies, and substitutes 5xx responses — per-peer-addressable
+// through rules matched on the target host.
+//
+// Install points mirror the real traffic paths: cluster.NodeConfig
+// .Transport puts one Transport under a Node's shared HTTP client
+// (covering the prober, the peer-fill cache and the coordinator's
+// per-worker clients at once), and simsvc.Client.HTTPClient accepts a
+// wrapped client directly. The -netfault flag on winsim and winsimd
+// parses a Spec string into a Transport, making cluster chaos as
+// scriptable as -faultseed makes guest chaos.
+//
+// Faults are injected client-side, which covers both directions of a
+// conversation: a dropped request looks like a dead peer, a corrupted
+// response body exercises every decoder and integrity check on the
+// receive path. The same seed and the same request sequence reproduce
+// the same fault schedule (concurrent requests draw from one locked
+// RNG, so cross-goroutine interleaving is the only nondeterminism).
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule is one per-peer fault profile. Probabilities are in [0, 1] and
+// are drawn independently per request in the order drop, delay, 5xx,
+// truncate, corrupt, so a single request can suffer a delay and a
+// corrupted body at once — exactly what a congested, flaky link does.
+type Rule struct {
+	// Peer selects the hosts this rule applies to: an exact
+	// "host:port" match, or "*" (or "") for every peer.
+	Peer string
+	// Drop is the probability the request fails outright with a
+	// transport error before anything is sent.
+	Drop float64
+	// Delay stalls the request by the given duration with probability
+	// DelayProb before forwarding (context cancellation is honored).
+	Delay     time.Duration
+	DelayProb float64
+	// Err5xx is the probability the real response is discarded and
+	// replaced with a fabricated 503.
+	Err5xx float64
+	// Truncate is the probability the response body is cut to half its
+	// length.
+	Truncate float64
+	// Corrupt is the probability a single body byte is flipped.
+	Corrupt float64
+}
+
+// Config seeds a Transport. Rules are consulted in order; the first
+// rule whose Peer matches the request's host applies (so a specific
+// peer rule listed before a "*" rule overrides it).
+type Config struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Requests  uint64 `json:"requests"`
+	Dropped   uint64 `json:"dropped"`
+	Delayed   uint64 `json:"delayed"`
+	Cut       uint64 `json:"partitioned"`
+	Injected  uint64 `json:"injected_5xx"`
+	Truncated uint64 `json:"truncated"`
+	Corrupted uint64 `json:"corrupted"`
+}
+
+// ErrInjected is the sentinel wrapped by every fabricated transport
+// error, so tests and logs can tell injected faults from real ones.
+var ErrInjected = errors.New("netfault: injected fault")
+
+// Partitions is a dynamic set of severed host pairs, shareable between
+// several Transports so in-process multi-node tests can cut A↔B while
+// leaving A↔C intact. The zero value is usable.
+type Partitions struct {
+	mu  sync.Mutex
+	cut map[[2]string]bool
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Cut severs the pair: any request between a and b (either direction)
+// fails with a transport error.
+func (p *Partitions) Cut(a, b string) {
+	p.mu.Lock()
+	if p.cut == nil {
+		p.cut = make(map[[2]string]bool)
+	}
+	p.cut[pairKey(a, b)] = true
+	p.mu.Unlock()
+}
+
+// Heal restores the pair.
+func (p *Partitions) Heal(a, b string) {
+	p.mu.Lock()
+	delete(p.cut, pairKey(a, b))
+	p.mu.Unlock()
+}
+
+// Blocked reports whether the pair is severed.
+func (p *Partitions) Blocked(a, b string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cut[pairKey(a, b)]
+}
+
+// Transport is the fault-injecting http.RoundTripper. Safe for
+// concurrent use.
+type Transport struct {
+	// Base is the wrapped transport (http.DefaultTransport when nil).
+	Base http.RoundTripper
+	// Self labels the owning node for partition checks; a Transport
+	// with an empty Self never matches a partition.
+	Self string
+	// Net, when non-nil, is the shared partition set this transport
+	// consults on every request.
+	Net *Partitions
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []Rule
+	stats Stats
+}
+
+// New builds a Transport over http.DefaultTransport from the config.
+func New(cfg Config) *Transport {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Transport{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: append([]Rule(nil), cfg.Rules...),
+	}
+}
+
+// Client wraps an HTTP client so its requests pass through the
+// transport, preserving the original timeout and inner transport.
+func (t *Transport) Client(base *http.Client) *http.Client {
+	var timeout time.Duration
+	if base != nil {
+		timeout = base.Timeout
+		if t.Base == nil && base.Transport != nil {
+			t.Base = base.Transport
+		}
+	}
+	return &http.Client{Transport: t, Timeout: timeout}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// rule returns the first rule matching the host, if any.
+func (t *Transport) rule(host string) (Rule, bool) {
+	for _, r := range t.rules {
+		if r.Peer == "" || r.Peer == "*" || r.Peer == host {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// draw returns true with probability p, using the shared locked RNG.
+func (t *Transport) draw(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	t.mu.Lock()
+	v := t.rng.Float64()
+	t.mu.Unlock()
+	return v < p
+}
+
+func (t *Transport) count(f func(*Stats)) {
+	t.mu.Lock()
+	f(&t.stats)
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.count(func(s *Stats) { s.Requests++ })
+
+	if t.Net.Blocked(t.Self, host) || t.Net.Blocked(t.Self, req.URL.Scheme+"://"+host) {
+		t.count(func(s *Stats) { s.Cut++ })
+		return nil, fmt.Errorf("%w: partition %s <-> %s", ErrInjected, t.Self, host)
+	}
+
+	r, ok := t.rule(host)
+	if !ok {
+		return t.base().RoundTrip(req)
+	}
+
+	if t.draw(r.Drop) {
+		t.count(func(s *Stats) { s.Dropped++ })
+		return nil, fmt.Errorf("%w: dropped request to %s", ErrInjected, host)
+	}
+	if r.Delay > 0 && t.draw(r.DelayProb) {
+		t.count(func(s *Stats) { s.Delayed++ })
+		select {
+		case <-time.After(r.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if t.draw(r.Err5xx) {
+		t.count(func(s *Stats) { s.Injected++ })
+		body := `{"error":"netfault: injected 503"}`
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	truncate := t.draw(r.Truncate)
+	corrupt := t.draw(r.Corrupt)
+	if !truncate && !corrupt {
+		return resp, nil
+	}
+	// Mutating the body requires materializing it; cluster payloads are
+	// bounded (the readers cap at 8 MiB), so buffer with headroom.
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if truncate && len(data) > 0 {
+		t.count(func(s *Stats) { s.Truncated++ })
+		data = data[:len(data)/2]
+	}
+	if corrupt && len(data) > 0 {
+		t.count(func(s *Stats) { s.Corrupted++ })
+		t.mu.Lock()
+		i := t.rng.Intn(len(data))
+		t.mu.Unlock()
+		data[i] ^= 0x20 // flips letter case / mangles a digit, keeps it printable
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// ParseSpec builds a Config from the -netfault flag syntax: a
+// comma-separated list of key=value pairs, where a "peer=HOST" pair
+// starts a new rule scoped to that host (pairs before any peer= apply
+// to every peer).
+//
+//	seed=42,drop=0.1,delay=30ms:0.25,err=0.05,truncate=0.02,corrupt=0.05
+//	seed=7,peer=127.0.0.1:8102,drop=0.5
+//
+// delay takes DURATION:PROB (probability defaults to 1).
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	cur := Rule{Peer: "*"}
+	started := false
+	flush := func() {
+		if started {
+			cfg.Rules = append(cfg.Rules, cur)
+		}
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("netfault: %q is not key=value", part)
+		}
+		prob := func() (float64, error) {
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return 0, fmt.Errorf("netfault: %s wants a probability in [0,1], got %q", k, v)
+			}
+			return p, nil
+		}
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("netfault: bad seed %q", v)
+			}
+		case "peer":
+			flush()
+			cur = Rule{Peer: strings.TrimPrefix(v, "http://")}
+			started = false
+		case "drop":
+			cur.Drop, err = prob()
+		case "err":
+			cur.Err5xx, err = prob()
+		case "truncate":
+			cur.Truncate, err = prob()
+		case "corrupt":
+			cur.Corrupt, err = prob()
+		case "delay":
+			d, p, hasProb := strings.Cut(v, ":")
+			cur.Delay, err = time.ParseDuration(d)
+			if err != nil {
+				return Config{}, fmt.Errorf("netfault: bad delay %q", v)
+			}
+			cur.DelayProb = 1
+			if hasProb {
+				cur.DelayProb, err = strconv.ParseFloat(p, 64)
+				if err != nil || cur.DelayProb < 0 || cur.DelayProb > 1 {
+					return Config{}, fmt.Errorf("netfault: bad delay probability %q", p)
+				}
+			}
+		default:
+			return Config{}, fmt.Errorf("netfault: unknown key %q", k)
+		}
+		if err != nil {
+			return Config{}, err
+		}
+		if k != "seed" && k != "peer" {
+			started = true
+		}
+	}
+	flush()
+	return cfg, nil
+}
+
+// FromSpec is ParseSpec + New: the one-liner the CLI flags use. An
+// empty spec returns nil (no injection).
+func FromSpec(spec string) (*Transport, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	cfg, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(cfg), nil
+}

@@ -1,0 +1,219 @@
+package netfault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func serve(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp, "", err
+	}
+	return resp, string(data), nil
+}
+
+// TestDropIsDeterministic: the same seed over the same request sequence
+// injects the same faults.
+func TestDropIsDeterministic(t *testing.T) {
+	ts := serve(t, "ok")
+	run := func() []bool {
+		tr := New(Config{Seed: 42, Rules: []Rule{{Peer: "*", Drop: 0.5}}})
+		c := tr.Client(nil)
+		outcomes := make([]bool, 20)
+		for i := range outcomes {
+			_, _, err := get(t, c, ts.URL)
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	dropped := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: run A dropped=%v, run B dropped=%v (seeded schedule must repeat)", i, a[i], b[i])
+		}
+		if a[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("drop=0.5 over %d requests dropped %d; want a mix", len(a), dropped)
+	}
+}
+
+// TestDropErrorIsInjectedSentinel: fabricated failures are
+// errors.Is-able as ErrInjected, distinguishable from real ones.
+func TestDropErrorIsInjectedSentinel(t *testing.T) {
+	ts := serve(t, "ok")
+	tr := New(Config{Seed: 1, Rules: []Rule{{Peer: "*", Drop: 1}}})
+	_, _, err := get(t, tr.Client(nil), ts.URL)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped request error = %v, want ErrInjected in the chain", err)
+	}
+	if tr.Stats().Dropped != 1 {
+		t.Fatalf("stats.Dropped = %d, want 1", tr.Stats().Dropped)
+	}
+}
+
+// TestPerPeerRule: a rule scoped to one host leaves other hosts clean.
+func TestPerPeerRule(t *testing.T) {
+	tsA := serve(t, "a")
+	tsB := serve(t, "b")
+	hostA := strings.TrimPrefix(tsA.URL, "http://")
+	tr := New(Config{Seed: 1, Rules: []Rule{{Peer: hostA, Drop: 1}}})
+	c := tr.Client(nil)
+	if _, _, err := get(t, c, tsA.URL); err == nil {
+		t.Fatal("request to the faulted peer must drop")
+	}
+	if _, body, err := get(t, c, tsB.URL); err != nil || body != "b" {
+		t.Fatalf("request to the clean peer = %q, %v; want it untouched", body, err)
+	}
+}
+
+// TestPartition: a severed pair fails both directions; healing restores
+// it; unrelated pairs are unaffected.
+func TestPartition(t *testing.T) {
+	ts := serve(t, "ok")
+	host := strings.TrimPrefix(ts.URL, "http://")
+	var net Partitions
+
+	trA := New(Config{Seed: 1})
+	trA.Self, trA.Net = "nodeA", &net
+	trC := New(Config{Seed: 2})
+	trC.Self, trC.Net = "nodeC", &net
+
+	net.Cut("nodeA", host)
+	if _, _, err := get(t, trA.Client(nil), ts.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned request = %v, want ErrInjected", err)
+	}
+	if _, _, err := get(t, trC.Client(nil), ts.URL); err != nil {
+		t.Fatalf("unrelated pair must pass: %v", err)
+	}
+	net.Heal("nodeA", host)
+	if _, _, err := get(t, trA.Client(nil), ts.URL); err != nil {
+		t.Fatalf("healed pair must pass: %v", err)
+	}
+}
+
+// TestCorruptAndTruncate: body mutations change or shorten the payload
+// and are counted.
+func TestCorruptAndTruncate(t *testing.T) {
+	const body = "hello, cluster, this is a payload"
+	ts := serve(t, body)
+
+	tr := New(Config{Seed: 3, Rules: []Rule{{Peer: "*", Corrupt: 1}}})
+	_, got, err := get(t, tr.Client(nil), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == body || len(got) != len(body) {
+		t.Fatalf("corrupt=1 returned %q; want same length, different bytes than %q", got, body)
+	}
+
+	tr = New(Config{Seed: 3, Rules: []Rule{{Peer: "*", Truncate: 1}}})
+	_, got, err = get(t, tr.Client(nil), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(body)/2 {
+		t.Fatalf("truncate=1 returned %d bytes, want %d", len(got), len(body)/2)
+	}
+}
+
+// TestInject5xx: the fabricated 503 carries a JSON error body and never
+// reaches the real server.
+func TestInject5xx(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+	}))
+	defer ts.Close()
+	tr := New(Config{Seed: 1, Rules: []Rule{{Peer: "*", Err5xx: 1}}})
+	resp, body, err := get(t, tr.Client(nil), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(body, "netfault") {
+		t.Fatalf("injected body = %q, want a netfault marker", body)
+	}
+	if hits != 0 {
+		t.Fatalf("real server saw %d hits; an injected 5xx must short-circuit", hits)
+	}
+}
+
+// TestDelayHonorsContext: a delayed request aborts when the caller's
+// context expires rather than sleeping on.
+func TestDelayHonorsContext(t *testing.T) {
+	ts := serve(t, "ok")
+	tr := New(Config{Seed: 1, Rules: []Rule{{Peer: "*", Delay: time.Minute, DelayProb: 1}}})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := tr.Client(nil).Do(req)
+	if err == nil {
+		t.Fatal("expected a context error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored the context: took %v", elapsed)
+	}
+}
+
+// TestParseSpec covers the flag syntax: global and per-peer rules,
+// delay with probability, and rejection of malformed input.
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42,drop=0.1,delay=30ms:0.25,err=0.05,truncate=0.02,corrupt=0.03,peer=127.0.0.1:9000,drop=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 {
+		t.Fatalf("seed = %d, want 42", cfg.Seed)
+	}
+	if len(cfg.Rules) != 2 {
+		t.Fatalf("rules = %+v, want 2", cfg.Rules)
+	}
+	g := cfg.Rules[0]
+	if g.Peer != "*" || g.Drop != 0.1 || g.Delay != 30*time.Millisecond || g.DelayProb != 0.25 ||
+		g.Err5xx != 0.05 || g.Truncate != 0.02 || g.Corrupt != 0.03 {
+		t.Fatalf("global rule = %+v", g)
+	}
+	p := cfg.Rules[1]
+	if p.Peer != "127.0.0.1:9000" || p.Drop != 0.9 {
+		t.Fatalf("peer rule = %+v", p)
+	}
+
+	for _, bad := range []string{"drop=2", "delay=xx", "frobnicate=1", "seed=abc", "drop"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted malformed input", bad)
+		}
+	}
+
+	if tr, err := FromSpec(""); err != nil || tr != nil {
+		t.Fatalf("FromSpec(\"\") = %v, %v; want nil, nil", tr, err)
+	}
+}

@@ -95,9 +95,12 @@ func (c *Cache) SetRemote(rc RemoteCache) {
 // Get returns the cached result for the key, consulting memory, then
 // the disk store, then the remote peer-fill tier. Disk and peer hits
 // are promoted into memory (and peer hits written through to disk), so
-// a cell fetched once keeps being served locally.
-func (c *Cache) Get(key string) (*JobResult, bool) {
-	return c.get(key, true)
+// a cell fetched once keeps being served locally. The caller's context
+// bounds the remote tier: a job deadline or cancellation propagates
+// into the peer-fill fetch instead of being dropped at this boundary
+// (the local tiers never block, so they ignore it).
+func (c *Cache) Get(ctx context.Context, key string) (*JobResult, bool) {
+	return c.get(ctx, key, true)
 }
 
 // GetLocal is Get restricted to the local tiers (memory and disk). It
@@ -105,10 +108,10 @@ func (c *Cache) Get(key string) (*JobResult, bool) {
 // peer must never consult its own remote tier, or two nodes missing the
 // same key would chase each other forever.
 func (c *Cache) GetLocal(key string) (*JobResult, bool) {
-	return c.get(key, false)
+	return c.get(context.Background(), key, false)
 }
 
-func (c *Cache) get(key string, allowRemote bool) (*JobResult, bool) {
+func (c *Cache) get(ctx context.Context, key string, allowRemote bool) (*JobResult, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -131,8 +134,8 @@ func (c *Cache) get(key string, allowRemote bool) (*JobResult, bool) {
 		return v, true
 	}
 
-	if allowRemote && remote != nil {
-		if v, ok := remote.Fetch(context.Background(), key); ok && v != nil {
+	if allowRemote && remote != nil && ctx.Err() == nil {
+		if v, ok := remote.Fetch(ctx, key); ok && v != nil {
 			c.mu.Lock()
 			c.peerHits++
 			c.insertLocked(key, v)
@@ -213,13 +216,41 @@ func (c *Cache) storeDisk(key string, v *JobResult) {
 	if err != nil {
 		return
 	}
-	// Write-then-rename so concurrent readers of the store (another
-	// winsim process sharing -cachedir) never see a partial file.
+	// Write-fsync-rename-fsync so the store survives a crash at any
+	// point: concurrent readers (another winsim process sharing
+	// -cachedir) never see a partial file behind the final name, and a
+	// power cut cannot leave a renamed entry whose bytes were still in
+	// the page cache — the torn-write case the load path would otherwise
+	// have to detect and delete.
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return
 	}
-	_ = os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	// The rename itself lives in the directory; sync it too so the
+	// entry's existence is durable, not just its contents.
+	if d, err := os.Open(c.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
 }
 
 // CacheStats is a snapshot of the cache counters.

@@ -1,6 +1,7 @@
 package simsvc
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,12 +20,12 @@ func TestCacheHitMissAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get("aaaa"); ok {
+	if _, ok := c.Get(context.Background(), "aaaa"); ok {
 		t.Fatal("hit on empty cache")
 	}
 	c.Put("aaaa", result(1))
 	for i := 0; i < 3; i++ {
-		v, ok := c.Get("aaaa")
+		v, ok := c.Get(context.Background(), "aaaa")
 		if !ok || v.Cell.Cycles != 1 {
 			t.Fatalf("lookup %d: got %v, %v", i, v, ok)
 		}
@@ -45,17 +46,17 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	c.Put("k1", result(1))
 	c.Put("k2", result(2))
-	if _, ok := c.Get("k1"); !ok { // k1 now most recently used
+	if _, ok := c.Get(context.Background(), "k1"); !ok { // k1 now most recently used
 		t.Fatal("k1 missing")
 	}
 	c.Put("k3", result(3)) // evicts k2, the least recently used
-	if _, ok := c.Get("k2"); ok {
+	if _, ok := c.Get(context.Background(), "k2"); ok {
 		t.Fatal("k2 should have been evicted")
 	}
-	if _, ok := c.Get("k1"); !ok {
+	if _, ok := c.Get(context.Background(), "k1"); !ok {
 		t.Fatal("k1 should have survived eviction")
 	}
-	if _, ok := c.Get("k3"); !ok {
+	if _, ok := c.Get(context.Background(), "k3"); !ok {
 		t.Fatal("k3 should be present")
 	}
 	if s := c.Stats(); s.Entries != 2 {
@@ -82,7 +83,7 @@ func TestCacheDiskStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, ok := c2.Get(key)
+	v, ok := c2.Get(context.Background(), key)
 	if !ok || v.Cell == nil || v.Cell.Cycles != 42 {
 		t.Fatalf("disk lookup: got %+v, %v", v, ok)
 	}
@@ -91,7 +92,7 @@ func TestCacheDiskStore(t *testing.T) {
 		t.Fatalf("stats = %+v, want exactly one disk hit", s)
 	}
 	// The disk hit was promoted: the next lookup is a memory hit.
-	if _, ok := c2.Get(key); !ok {
+	if _, ok := c2.Get(context.Background(), key); !ok {
 		t.Fatal("promoted entry missing")
 	}
 	if s := c2.Stats(); s.Hits != 1 {
@@ -109,7 +110,7 @@ func TestCacheCorruptDiskEntryIsMiss(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(key); ok {
+	if _, ok := c.Get(context.Background(), key); ok {
 		t.Fatal("corrupt disk entry served as a hit")
 	}
 }
@@ -130,7 +131,7 @@ func TestCacheHostileKeyStaysInDir(t *testing.T) {
 
 func TestCacheNilSafe(t *testing.T) {
 	var c *Cache
-	if _, ok := c.Get("k"); ok {
+	if _, ok := c.Get(context.Background(), "k"); ok {
 		t.Fatal("nil cache hit")
 	}
 	c.Put("k", result(1)) // must not panic

@@ -3,6 +3,8 @@ package simsvc
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -193,6 +195,15 @@ func (c *Client) do(req *http.Request) (*View, time.Duration, error) {
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil {
 		return nil, retryAfter, err
+	}
+	if sum := resp.Header.Get(ChecksumHeader); sum != "" {
+		digest := sha256.Sum256(data)
+		if hex.EncodeToString(digest[:]) != sum {
+			// A corrupted body is a transport failure, not a server
+			// answer: surface it as a plain error so the retry loop
+			// treats it like a connection fault and tries again.
+			return nil, retryAfter, fmt.Errorf("simsvc: response body failed checksum verification (%d bytes)", len(data))
+		}
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e struct {

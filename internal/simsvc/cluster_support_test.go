@@ -41,7 +41,7 @@ func TestCacheTruncatedDiskEntryDeleted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c2.Get(key); ok {
+	if _, ok := c2.Get(context.Background(), key); ok {
 		t.Fatal("a truncated disk entry was served as a hit")
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -54,7 +54,7 @@ func TestCacheTruncatedDiskEntryDeleted(t *testing.T) {
 	// The slot is fully recovered: a recompute stores cleanly.
 	c2.Put(key, &JobResult{Spec: JobSpec{Experiment: ExperimentCell}})
 	c3, _ := NewCache(0, dir)
-	if _, ok := c3.Get(key); !ok {
+	if _, ok := c3.Get(context.Background(), key); !ok {
 		t.Fatal("the rewritten entry does not load")
 	}
 }
@@ -95,7 +95,7 @@ func TestCacheRemoteTier(t *testing.T) {
 		t.Fatalf("GetLocal triggered %d remote fetches", remote.fetches)
 	}
 
-	got, ok := c.Get("k1")
+	got, ok := c.Get(context.Background(), "k1")
 	if !ok || got.Spec.Scheme != "NS" {
 		t.Fatalf("Get(k1) = %+v,%v, want the remote entry", got, ok)
 	}
@@ -105,7 +105,7 @@ func TestCacheRemoteTier(t *testing.T) {
 
 	// Promoted: the second lookup is a memory hit, no remote traffic.
 	before := remote.fetches
-	if _, ok := c.Get("k1"); !ok {
+	if _, ok := c.Get(context.Background(), "k1"); !ok {
 		t.Fatal("promoted entry missing from memory")
 	}
 	if remote.fetches != before {
@@ -113,12 +113,12 @@ func TestCacheRemoteTier(t *testing.T) {
 	}
 	// Written through: a fresh cache over the same dir hits disk.
 	c2, _ := NewCache(0, dir)
-	if _, ok := c2.Get("k1"); !ok {
+	if _, ok := c2.Get(context.Background(), "k1"); !ok {
 		t.Error("a peer-filled entry was not written through to disk")
 	}
 
 	// A remote miss is a plain miss.
-	if _, ok := c.Get("k2"); ok {
+	if _, ok := c.Get(context.Background(), "k2"); ok {
 		t.Fatal("Get(k2) hit although no tier holds it")
 	}
 }
@@ -221,5 +221,71 @@ func TestClientSubmitConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Errorf("concurrent Submit: %v", err)
+	}
+}
+
+// TestCacheGetCancelledContextSkipsRemote is the deadline-propagation
+// regression test at the cache boundary: a Get whose context is already
+// cancelled (the sweep budget expired, the job was aborted) must not
+// start a remote peer-fill fetch — the bug this pins was the cache
+// consulting the remote tier on context.Background, so no caller
+// deadline ever reached the network.
+func TestCacheGetCancelledContextSkipsRemote(t *testing.T) {
+	c, err := NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &JobResult{Spec: JobSpec{Experiment: ExperimentCell}}
+	remote := &fakeRemote{entries: map[string]*JobResult{"k1": want}}
+	c.SetRemote(remote)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := c.Get(ctx, "k1"); ok {
+		t.Fatal("a cancelled Get was answered by the remote tier")
+	}
+	if remote.fetches != 0 {
+		t.Fatalf("a cancelled Get launched %d remote fetches", remote.fetches)
+	}
+	// The local tiers ignore the context: a memory hit still serves.
+	c.Put("k1", want)
+	if _, ok := c.Get(ctx, "k1"); !ok {
+		t.Fatal("a cancelled Get missed the in-memory tier")
+	}
+}
+
+// TestCacheCrashLeftoverTmpIgnored is the torn-write regression test
+// for the fsync-rename store discipline: a writer that died between
+// creating the temp file and the rename leaves only "<key>.json.tmp"
+// behind. That leftover must never be served, must not block a clean
+// rewrite of the entry, and the final store file must appear complete.
+func TestCacheCrashLeftoverTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	key := "feedface01"
+	tmp := filepath.Join(dir, key+".json.tmp")
+
+	// Simulate the crash: a half-written temp file, no final file.
+	if err := os.WriteFile(tmp, []byte(`{"spec":{"experi`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(context.Background(), key); ok {
+		t.Fatal("a crash leftover .tmp file was served as the entry")
+	}
+
+	// A recompute stores cleanly over the leftover.
+	want := &JobResult{Spec: JobSpec{Experiment: ExperimentCell, Scheme: "SP", Windows: 8, Behavior: "high-fine"}.Normalize()}
+	c.Put(key, want)
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
+		t.Fatalf("the rewritten entry is missing: %v", err)
+	}
+	c2, _ := NewCache(0, dir)
+	got, ok := c2.Get(context.Background(), key)
+	if !ok || got.Spec.Scheme != "SP" {
+		t.Fatalf("the rewritten entry does not load: %+v, %v", got, ok)
 	}
 }

@@ -277,7 +277,10 @@ func (p *Pool) Submit(spec JobSpec) (*Job, error) {
 	id := fmt.Sprintf("j%06d", p.seq)
 	p.mu.Unlock()
 
-	if res, ok := p.cfg.Cache.Get(hash); ok {
+	// Submission-time lookups carry no request deadline (the job, once
+	// accepted, outlives its submitter); the remote tier bounds itself
+	// with its own per-fetch timeout.
+	if res, ok := p.cfg.Cache.Get(context.Background(), hash); ok {
 		j := &Job{id: id, hash: hash, spec: spec, submitted: time.Now(), done: make(chan struct{})}
 		j.cacheHit = true
 		j.finish(StatusDone, res, nil)
@@ -504,7 +507,7 @@ func (p *Pool) cachedSerialRunner() harness.Runner {
 		for i, c := range cells {
 			spec := CellSpec(c)
 			hash := spec.Hash()
-			if res, ok := p.cfg.Cache.Get(hash); ok && res.Cell != nil {
+			if res, ok := p.cfg.Cache.Get(context.Background(), hash); ok && res.Cell != nil {
 				out[i] = res.Cell.HarnessResult(spec)
 				continue
 			}

@@ -2,6 +2,8 @@ package simsvc
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -92,12 +94,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// ChecksumHeader carries the hex SHA-256 of a JSON response body.
+// Every writeJSON response attaches it, and the retrying client and
+// the cluster peer-fill tier verify it, so a body corrupted in flight
+// is rejected as a transport failure instead of being decoded into a
+// plausible-but-wrong result.
+const ChecksumHeader = "X-Content-Sha256"
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Marshalling a response value cannot fail for any type we
+		// serve; degrade to a bare 500 rather than panicking.
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	sum := sha256.Sum256(data)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(ChecksumHeader, hex.EncodeToString(sum[:]))
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(data)
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

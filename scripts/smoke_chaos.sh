@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# smoke_chaos.sh — network-chaos smoke test for the cluster resilience
+# layer (DESIGN.md §12). Boots a 3-node winsimd cluster and drives it
+# through injected network faults, verifying that correctness and
+# liveness survive:
+#   1. A distributed fig11 sweep under seeded drops (12%), latency and
+#      body corruption renders bytes identical to the serial run, and
+#      -leakcheck proves no goroutine outlives the sweep.
+#   2. A repeat sweep under the same chaos is served by peer fill;
+#      corrupted fill bodies are refused (peer rejects > 0) and the
+#      output still matches.
+#   3. One worker runs with -netfault body corruption on its own
+#      outbound fetches: an experiment fanned out from it rejects the
+#      corrupted peer fills (winsimd_cluster_peer_rejects_total > 0 on
+#      /metrics) yet completes correctly.
+#   4. Killing a worker opens its circuit breaker on the survivors
+#      (winsimd_cluster_breaker_state = 1); restarting it drives the
+#      breaker through a half-open trial back to closed (state 0,
+#      trials > 0) — all visible on /metrics.
+#   5. A sweep under an intentionally tiny -budget reports cells past
+#      the deadline, skips routing, and still prints the golden bytes.
+#
+# Requires only the go toolchain plus curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+A1="127.0.0.1:8111"; A2="127.0.0.1:8112"; A3="127.0.0.1:8113"
+B1="http://$A1"; B2="http://$A2"; B3="http://$A3"
+TMP="$(mktemp -d)"
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null || true; wait "${PIDS[@]}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build =="
+go build -o "$TMP/winsimd" ./cmd/winsimd
+go build -o "$TMP/winsim" ./cmd/winsim
+
+echo "== boot a 3-node cluster (worker 3 corrupts its own fetches) =="
+"$TMP/winsimd" -addr "$A1" -workers 2 -peers "$B2,$B3" &
+PIDS+=($!)
+"$TMP/winsimd" -addr "$A2" -workers 2 -join "$B1" &
+W2_PID=$!
+PIDS+=($W2_PID)
+"$TMP/winsimd" -addr "$A3" -workers 2 -join "$B1" -netfault "seed=5,corrupt=0.3" &
+PIDS+=($!)
+
+for base in "$B1" "$B2" "$B3"; do
+  for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "worker $base did not come up" >&2; exit 1; fi
+    sleep 0.2
+  done
+done
+for i in $(seq 1 50); do
+  N="$(curl -fsS "$B1/v1/cluster/members" | grep -c 'http://' || true)"
+  if [ "$N" = 3 ]; then break; fi
+  if [ "$i" = 50 ]; then echo "member list stuck at $N members" >&2; exit 1; fi
+  sleep 0.2
+done
+echo "3 members up"
+
+echo "== serial golden =="
+"$TMP/winsim" -exp fig11 -parallel=false >"$TMP/fig11.golden"
+
+CHAOS="seed=42,drop=0.12,delay=20ms:0.2,corrupt=0.1,err=0.03"
+
+echo "== distributed fig11 under chaos ($CHAOS) matches the golden =="
+"$TMP/winsim" -exp fig11 -cluster "$B1" -netfault "$CHAOS" -leakcheck \
+  >"$TMP/fig11.chaos" 2>"$TMP/chaos.err"
+diff -u "$TMP/fig11.golden" "$TMP/fig11.chaos"
+grep -q 'netfault armed' "$TMP/chaos.err"
+grep -q 'leakcheck: clean' "$TMP/chaos.err"
+DROPPED="$(sed -n 's/.*netfault — [0-9]* requests: \([0-9]*\) dropped.*/\1/p' "$TMP/chaos.err")"
+[ -n "$DROPPED" ] && [ "$DROPPED" -gt 0 ] || { echo "chaos sweep dropped nothing:" >&2; cat "$TMP/chaos.err" >&2; exit 1; }
+echo "byte-identical under chaos ($DROPPED requests dropped), no goroutine leaks"
+
+echo "== repeat sweep under chaos: corrupted peer fills are refused =="
+"$TMP/winsim" -exp fig11 -cluster "$B1" -netfault "$CHAOS" -leakcheck \
+  >"$TMP/fig11.repeat" 2>"$TMP/repeat.err"
+diff -u "$TMP/fig11.golden" "$TMP/fig11.repeat"
+grep -q 'leakcheck: clean' "$TMP/repeat.err"
+FILLS="$(sed -n 's/.* \([0-9]*\) peer fills$/\1/p' "$TMP/repeat.err")"
+REJECTS="$(sed -n 's/.*resilience — \([0-9]*\) peer rejects.*/\1/p' "$TMP/repeat.err")"
+[ -n "$FILLS" ] && [ "$FILLS" -gt 0 ] || { echo "repeat sweep made no peer fills:" >&2; cat "$TMP/repeat.err" >&2; exit 1; }
+[ -n "$REJECTS" ] && [ "$REJECTS" -gt 0 ] || { echo "10% corruption produced no peer rejects:" >&2; cat "$TMP/repeat.err" >&2; exit 1; }
+echo "$FILLS peer fills, $REJECTS corrupted fills refused, output intact"
+
+echo "== worker 3 fans out an experiment through its corrupting link =="
+# Worker 3's own outbound fetches corrupt 30% of bodies; its peer fills
+# of cells cached on workers 1 and 2 must be verified and the corrupt
+# ones rejected — visible on its /metrics — while the experiment still
+# completes (rejected fills are recomputed or refetched). Corruption is
+# probabilistic per body, so allow a few attempts.
+for i in 1 2 3; do
+  curl -fsS -X POST "$B3/v1/jobs?wait=1" -H 'Content-Type: application/json' \
+    -d '{"experiment":"fig11"}' >"$TMP/w3job.json"
+  grep -q '"status": *"done"' "$TMP/w3job.json" || { echo "worker-3 experiment failed" >&2; cat "$TMP/w3job.json" >&2; exit 1; }
+  W3REJ="$(curl -fsS "$B3/metrics" | sed -n 's/^winsimd_cluster_peer_rejects_total \([0-9]*\)$/\1/p')"
+  if [ -n "$W3REJ" ] && [ "$W3REJ" -gt 0 ]; then break; fi
+done
+[ -n "$W3REJ" ] && [ "$W3REJ" -gt 0 ] || { echo "worker 3 never rejected a corrupted peer fill" >&2; curl -fsS "$B3/metrics" | grep peer >&2 || true; exit 1; }
+echo "worker 3 rejected $W3REJ corrupted peer fills and still finished the experiment"
+
+echo "== breaker metric families =="
+curl -fsS "$B1/metrics" >"$TMP/metrics.prom"
+grep -q '^# TYPE winsimd_cluster_breaker_state gauge$' "$TMP/metrics.prom"
+grep -q '^# TYPE winsimd_cluster_breaker_opens_total counter$' "$TMP/metrics.prom"
+grep -q '^# TYPE winsimd_cluster_breaker_trials_total counter$' "$TMP/metrics.prom"
+grep -q '^winsimd_cluster_peer_rejects_total ' "$TMP/metrics.prom"
+grep -q '^winsimd_cluster_peer_hedges_total ' "$TMP/metrics.prom"
+grep -q '^winsimd_cluster_deadline_expired_total ' "$TMP/metrics.prom"
+echo "resilience families exposed"
+
+echo "== kill worker 2: its breaker must open on the seed =="
+kill -9 "$W2_PID" 2>/dev/null || true
+for i in $(seq 1 100); do
+  curl -fsS "$B1/metrics" >"$TMP/m.prom" 2>/dev/null || true
+  if grep -q "^winsimd_cluster_breaker_state{member=\"$B2\"} 1$" "$TMP/m.prom"; then break; fi
+  if [ "$i" = 100 ]; then
+    echo "breaker never opened for the killed member" >&2
+    grep breaker "$TMP/m.prom" >&2 || true
+    exit 1
+  fi
+  sleep 0.2
+done
+OPENS="$(sed -n "s|^winsimd_cluster_breaker_opens_total{member=\"$B2\"} \([0-9]*\)$|\1|p" "$TMP/m.prom")"
+echo "breaker open for $B2 (opens_total=$OPENS)"
+
+echo "== restart worker 2: half-open trial must close the breaker =="
+"$TMP/winsimd" -addr "$A2" -workers 2 -join "$B1" &
+PIDS+=($!)
+for i in $(seq 1 150); do
+  curl -fsS "$B1/metrics" >"$TMP/m.prom" 2>/dev/null || true
+  if grep -q "^winsimd_cluster_breaker_state{member=\"$B2\"} 0$" "$TMP/m.prom"; then break; fi
+  if [ "$i" = 150 ]; then
+    echo "breaker never closed after the member came back" >&2
+    grep breaker "$TMP/m.prom" >&2 || true
+    exit 1
+  fi
+  sleep 0.2
+done
+TRIALS="$(sed -n "s|^winsimd_cluster_breaker_trials_total{member=\"$B2\"} \([0-9]*\)$|\1|p" "$TMP/m.prom")"
+[ -n "$TRIALS" ] && [ "$TRIALS" -gt 0 ] || { echo "breaker closed without a half-open trial" >&2; exit 1; }
+echo "breaker closed again after $TRIALS half-open trial(s)"
+
+echo "== sweep budget: expired cells run inline, bytes still golden =="
+"$TMP/winsim" -exp fig11 -cluster "$B1" -budget 1ms -leakcheck \
+  >"$TMP/fig11.budget" 2>"$TMP/budget.err"
+diff -u "$TMP/fig11.golden" "$TMP/fig11.budget"
+grep -q 'leakcheck: clean' "$TMP/budget.err"
+EXPIRED="$(sed -n 's/.* \([0-9]*\) cells past the sweep budget$/\1/p' "$TMP/budget.err")"
+[ -n "$EXPIRED" ] && [ "$EXPIRED" -gt 0 ] || { echo "a 1ms budget expired no cells:" >&2; cat "$TMP/budget.err" >&2; exit 1; }
+echo "$EXPIRED cells honored the deadline inline, output byte-identical"
+
+echo "CHAOS SMOKE OK"
