@@ -5,8 +5,8 @@
 // Usage:
 //
 //	winsimd [-addr :8091] [-workers N] [-cachedir DIR] [-cachesize N]
-//	        [-timeout 10m] [-maxqueue 256] [-reqtimeout 2m]
-//	        [-node URL] [-peers URL,URL] [-join URL]
+//	        [-timeout 10m] [-maxqueue 256] [-clientqueue N] [-maxqueuecost N]
+//	        [-reqtimeout 2m] [-node URL] [-peers URL,URL] [-join URL]
 //
 // Several winsimd processes form a cluster: -peers lists the other
 // members statically, or -join announces this node to a running member
@@ -81,6 +81,10 @@ func main() {
 	cacheSize := flag.Int("cachesize", 0, "in-memory cache entries (0 = default)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
 	maxQueue := flag.Int("maxqueue", 256, "queued-job bound; submissions beyond it get 429 (0 = unbounded)")
+	clientQueue := flag.Int("clientqueue", 0, "per-client queued-job share, keyed by the X-Client-ID header; over-share submissions get 429 (0 = off)")
+	maxQueueCost := flag.Uint64("maxqueuecost", 0, "summed cost-estimate bound over the queue (threads x windows x text length); jobs whose estimate would exceed it get 429 (0 = off)")
+	legacyMetrics := flag.Bool("legacymetrics", false, "use the pre-sharding single-mutex metrics recorder (benchmark baseline only)")
+	noCoalesce := flag.Bool("nocoalesce", false, "disable per-key coalescing of concurrent cache misses (benchmark baseline only)")
 	reqTimeout := flag.Duration("reqtimeout", 2*time.Minute, "per-request deadline, including ?wait=1 blocking (0 = none)")
 	drainFor := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -126,11 +130,17 @@ func main() {
 
 	clustered := *peers != "" || *join != ""
 	var coord *cluster.Coordinator
+	if *noCoalesce {
+		cache.SetCoalesce(false)
+	}
 	poolCfg := simsvc.PoolConfig{
-		Workers:    *workers,
-		JobTimeout: *timeout,
-		MaxQueue:   *maxQueue,
-		Cache:      cache,
+		Workers:        *workers,
+		JobTimeout:     *timeout,
+		MaxQueue:       *maxQueue,
+		PerClientQueue: *clientQueue,
+		MaxQueueCost:   *maxQueueCost,
+		LegacyMetrics:  *legacyMetrics,
+		Cache:          cache,
 	}
 	if clustered {
 		// In a cluster, named experiments fan their cells out across the

@@ -44,10 +44,29 @@ type Cache struct {
 
 	remote RemoteCache // optional peer-fill tier under memory and disk
 
-	hits     uint64 // in-memory hits
-	diskHits uint64 // misses answered by the disk store
-	peerHits uint64 // misses answered by the remote tier
-	misses   uint64
+	// flights coalesces concurrent misses on the same key: the first
+	// caller (the leader) runs the disk-load + peer-fetch path once and
+	// every concurrent caller waits for its answer, so a cold key costs
+	// one disk read and one peer fetch no matter how many requests race
+	// on it. coalesce gates the behaviour (on by default; winsimbench
+	// switches it off to measure the stampeding baseline).
+	flights  map[string]*cacheFlight
+	coalesce bool
+
+	hits      uint64 // in-memory hits
+	diskHits  uint64 // misses answered by the disk store
+	peerHits  uint64 // misses answered by the remote tier
+	coalesced uint64 // callers answered by joining another caller's flight
+	misses    uint64
+}
+
+// cacheFlight is one in-progress cold lookup; v and ok are written
+// before done is closed, so any goroutine that returns from <-done
+// reads them race-free.
+type cacheFlight struct {
+	done chan struct{}
+	v    *JobResult
+	ok   bool
 }
 
 type cacheEntry struct {
@@ -73,11 +92,25 @@ func NewCache(max int, dir string) (*Cache, error) {
 		}
 	}
 	return &Cache{
-		max:     max,
-		ll:      list.New(),
-		entries: make(map[string]*list.Element),
-		dir:     dir,
+		max:      max,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		dir:      dir,
+		flights:  make(map[string]*cacheFlight),
+		coalesce: true,
 	}, nil
+}
+
+// SetCoalesce toggles per-key in-flight coalescing of cold lookups
+// (on by default). Only winsimbench turns it off, to measure the
+// pre-coalescing stampede as a baseline.
+func (c *Cache) SetCoalesce(on bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.coalesce = on
+	c.mu.Unlock()
 }
 
 // SetRemote installs the peer-fill tier consulted by Get after memory
@@ -124,8 +157,41 @@ func (c *Cache) get(ctx context.Context, key string, allowRemote bool) (*JobResu
 		return v, true
 	}
 	remote := c.remote
-	c.mu.Unlock()
 
+	// Coalescing covers only the remote-allowed path: GetLocal backs the
+	// peer-fill endpoint, and a peer's answer must never wait on a flight
+	// that is itself fetching from peers — two nodes missing the same key
+	// would deadlock on each other's flights.
+	if allowRemote && c.coalesce {
+		if f, ok := c.flights[key]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				return f.v, f.ok
+			case <-ctx.Done():
+				return nil, false
+			}
+		}
+		f := &cacheFlight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+		v, ok := c.fill(ctx, key, remote, allowRemote)
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		f.v, f.ok = v, ok
+		close(f.done)
+		return v, ok
+	}
+	c.mu.Unlock()
+	return c.fill(ctx, key, remote, allowRemote)
+}
+
+// fill runs the cold-lookup tiers (disk, then remote) for one key and
+// accounts the outcome. Exactly one goroutine runs fill per key at a
+// time when coalescing is on.
+func (c *Cache) fill(ctx context.Context, key string, remote RemoteCache, allowRemote bool) (*JobResult, bool) {
 	if v, ok := c.loadDisk(key); ok {
 		c.mu.Lock()
 		c.diskHits++
@@ -253,16 +319,21 @@ func (c *Cache) storeDisk(key string, v *JobResult) {
 	}
 }
 
-// CacheStats is a snapshot of the cache counters.
+// CacheStats is a snapshot of the cache counters. Coalesced callers
+// (answered by joining another caller's in-flight lookup) are counted
+// on their own — not as hits or misses — so the tier counters keep
+// meaning "work the cache actually performed".
 type CacheStats struct {
-	Entries  int    `json:"entries"`
-	Hits     uint64 `json:"hits"`      // in-memory hits
-	DiskHits uint64 `json:"disk_hits"` // served from the disk store
-	PeerHits uint64 `json:"peer_hits"` // served by the remote peer-fill tier
-	Misses   uint64 `json:"misses"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`      // in-memory hits
+	DiskHits  uint64 `json:"disk_hits"` // served from the disk store
+	PeerHits  uint64 `json:"peer_hits"` // served by the remote peer-fill tier
+	Coalesced uint64 `json:"coalesced"` // joined an in-flight cold lookup
+	Misses    uint64 `json:"misses"`
 }
 
 // HitRatio is (hits+disk hits+peer hits) / lookups, 0 with no lookups.
+// Coalesced callers are excluded from both sides.
 func (s CacheStats) HitRatio() float64 {
 	served := s.Hits + s.DiskHits + s.PeerHits
 	total := served + s.Misses
@@ -280,10 +351,11 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:  c.ll.Len(),
-		Hits:     c.hits,
-		DiskHits: c.diskHits,
-		PeerHits: c.peerHits,
-		Misses:   c.misses,
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		DiskHits:  c.diskHits,
+		PeerHits:  c.peerHits,
+		Coalesced: c.coalesced,
+		Misses:    c.misses,
 	}
 }

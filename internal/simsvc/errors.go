@@ -3,6 +3,7 @@ package simsvc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 )
 
@@ -23,6 +24,34 @@ var (
 	// the identical way.
 	ErrGuestFault = errors.New("simsvc: guest fault")
 )
+
+// The admission-tier rejections wrap ErrPoolSaturated: both are "back
+// off and retry" conditions (429) to a generic client, while clients
+// that care can errors.Is for the specific tier.
+var (
+	// ErrClientQuota marks a submission rejected by the per-client
+	// fairness tier: this client already holds PoolConfig.PerClientQueue
+	// queued jobs. Other clients are still being admitted.
+	ErrClientQuota = fmt.Errorf("%w: client queue share exhausted", ErrPoolSaturated)
+	// ErrCostShed marks a submission rejected by the cost-aware tier:
+	// its JobSpec.EstimateCost would push the queued total past
+	// PoolConfig.MaxQueueCost. Cheaper jobs may still be admitted.
+	ErrCostShed = fmt.Errorf("%w: estimated job cost over queue budget", ErrPoolSaturated)
+)
+
+// shedReasonOf classifies a saturation error into the 429 taxonomy the
+// server surfaces via the X-Shed-Reason header and winsimd metrics.
+func shedReasonOf(err error) (ShedReason, bool) {
+	switch {
+	case errors.Is(err, ErrClientQuota):
+		return ShedClientQuota, true
+	case errors.Is(err, ErrCostShed):
+		return ShedCost, true
+	case errors.Is(err, ErrPoolSaturated):
+		return ShedQueueFull, true
+	}
+	return 0, false
+}
 
 // statusCodeOf maps a pool or job error onto the HTTP status the API
 // serves for it. The classes are deliberately distinct so clients can

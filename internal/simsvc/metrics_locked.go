@@ -1,0 +1,165 @@
+package simsvc
+
+import (
+	"sync"
+	"time"
+
+	"cyclicwin/internal/stats"
+)
+
+// lockedMetrics is the pre-sharding recorder: one mutex in front of
+// every job event AND the snapshot render, which computes Quantile and
+// Mean over the full exact distribution while holding that same lock —
+// so a /metrics scrape stalls every Submit and every worker for the
+// duration of the render. It is kept (selectable via
+// PoolConfig.LegacyMetrics) purely as the measured baseline for
+// winsimbench's sharded-vs-mutexed serving-path comparison; production
+// pools always use shardedMetrics.
+type lockedMetrics struct {
+	mu sync.Mutex
+
+	accepted uint64
+	queued   uint64
+	running  uint64
+	done     uint64
+	failed   uint64
+	canceled uint64
+	cached   uint64
+
+	workers int
+	busy    int
+
+	panics          uint64
+	shedQueueFull   uint64
+	shedClientQuota uint64
+	shedCost        uint64
+
+	latency stats.Distribution // microseconds per executed job
+
+	simAgg
+}
+
+func (m *lockedMetrics) setWorkers(n int) {
+	m.mu.Lock()
+	m.workers = n
+	m.mu.Unlock()
+}
+
+// pickShard is meaningless for the single-register recorder.
+func (m *lockedMetrics) pickShard() uint32 { return 0 }
+
+func (m *lockedMetrics) jobQueued(uint32) {
+	m.mu.Lock()
+	m.accepted++
+	m.queued++
+	m.mu.Unlock()
+}
+
+func (m *lockedMetrics) jobStarted(uint32) {
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.busy++
+	m.mu.Unlock()
+}
+
+func (m *lockedMetrics) jobFinished(_ uint32, st Status, elapsed time.Duration) {
+	m.mu.Lock()
+	m.running--
+	m.busy--
+	switch st {
+	case StatusDone:
+		m.done++
+	case StatusFailed:
+		m.failed++
+	default:
+		m.canceled++
+	}
+	m.latency.Observe(uint64(elapsed.Microseconds()))
+	m.mu.Unlock()
+}
+
+func (m *lockedMetrics) jobDroppedQueued(uint32) {
+	m.mu.Lock()
+	m.queued--
+	m.canceled++
+	m.mu.Unlock()
+}
+
+func (m *lockedMetrics) jobCached(_ uint32, elapsed time.Duration) {
+	m.mu.Lock()
+	m.accepted++
+	m.done++
+	m.cached++
+	m.latency.Observe(uint64(elapsed.Microseconds()))
+	m.mu.Unlock()
+}
+
+func (m *lockedMetrics) jobShed(reason ShedReason) {
+	m.mu.Lock()
+	switch reason {
+	case ShedClientQuota:
+		m.shedClientQuota++
+	case ShedCost:
+		m.shedCost++
+	default:
+		m.shedQueueFull++
+	}
+	m.mu.Unlock()
+}
+
+func (m *lockedMetrics) panicRecovered() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+func (m *lockedMetrics) latencyStats() (stats.Distribution, float64, float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.latency.Clone()
+	return d, 1e-6, d.Mean() * float64(d.N()) / 1e6
+}
+
+// snapshot renders under the hot-path lock — deliberately preserving
+// the stall the sharded recorder exists to remove.
+func (m *lockedMetrics) snapshot(cs CacheStats) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		JobsAccepted: m.accepted,
+		JobsQueued:   m.queued,
+		JobsRunning:  m.running,
+		JobsDone:     m.done,
+		JobsFailed:   m.failed,
+		JobsCanceled: m.canceled,
+		JobsCached:   m.cached,
+		JobsShed:     m.shedQueueFull + m.shedClientQuota + m.shedCost,
+		PanicsTotal:  m.panics,
+
+		ShedQueueFull:   m.shedQueueFull,
+		ShedClientQuota: m.shedClientQuota,
+		ShedCost:        m.shedCost,
+
+		Workers:     m.workers,
+		BusyWorkers: m.busy,
+
+		CacheEntries:   cs.Entries,
+		CacheHits:      cs.Hits,
+		CacheDiskHits:  cs.DiskHits,
+		CachePeerHits:  cs.PeerHits,
+		CacheCoalesced: cs.Coalesced,
+		CacheMisses:    cs.Misses,
+		CacheHitRatio:  cs.HitRatio(),
+
+		JobLatencyMeanMS: m.latency.Mean() / 1e3,
+		JobLatencyP50MS:  float64(m.latency.Quantile(0.5)) / 1e3,
+		JobLatencyP99MS:  float64(m.latency.Quantile(0.99)) / 1e3,
+		JobLatencyMaxMS:  float64(m.latency.Max()) / 1e3,
+		JobsMeasured:     m.latency.N(),
+	}
+	if m.workers > 0 {
+		s.PoolUtilization = float64(m.busy) / float64(m.workers)
+	}
+	return s
+}

@@ -38,6 +38,14 @@ type Job struct {
 	hash string
 	spec JobSpec
 
+	// shard is the metrics shard every lifecycle event of this job is
+	// reported against; pinning all of a job's events to one shard is
+	// what keeps the scraped conservation invariant exact. client and
+	// cost are the admission-control bookkeeping captured at submit.
+	shard  uint32
+	client string
+	cost   uint64
+
 	mu        sync.Mutex
 	status    Status
 	result    *JobResult
@@ -176,6 +184,27 @@ type PoolConfig struct {
 	// means unbounded. A submission beyond the bound is rejected with
 	// ErrPoolSaturated instead of growing the queue without limit.
 	MaxQueue int
+	// PerClientQueue bounds how many queued jobs any single client (as
+	// identified by SubmitFrom / the X-Client-ID header) may hold; 0
+	// disables the fairness tier. A submission beyond the share is
+	// rejected with ErrClientQuota (a 429) while other clients keep
+	// being admitted — one chatty client cannot monopolize the queue.
+	// Anonymous submissions (empty client ID) are exempt.
+	PerClientQueue int
+	// MaxQueueCost bounds the summed estimated cost
+	// (JobSpec.EstimateCost: threads x windows x text length) of the
+	// queued jobs; 0 disables the tier. A submission whose estimate
+	// would push the queue past the bound is rejected with ErrCostShed,
+	// so a burst of huge full-size sweeps saturates admission long
+	// before it saturates the workers — while cheap cells keep flowing
+	// as long as their small estimates still fit.
+	MaxQueueCost uint64
+	// LegacyMetrics selects the pre-sharding single-mutex metrics
+	// recorder instead of the default sharded wait-free one. Only
+	// winsimbench sets it, to measure the two serving paths against
+	// each other; the legacy recorder stalls every job event while
+	// /metrics renders.
+	LegacyMetrics bool
 	// Cache, when non-nil, answers repeated specs without re-running
 	// and stores every completed result.
 	Cache *Cache
@@ -194,7 +223,7 @@ type PoolConfig struct {
 // answered by the cache.
 type Pool struct {
 	cfg     PoolConfig
-	metrics *Metrics
+	metrics metricsRecorder
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -208,6 +237,12 @@ type Pool struct {
 	closed   bool // no new submissions
 	stopping bool // workers exit once the queue is empty
 
+	// Admission bookkeeping over the queued jobs (guarded by mu, like
+	// the queue itself): per-client queued counts and the summed cost
+	// estimate of everything waiting.
+	clientQueued map[string]int
+	queueCost    uint64
+
 	workerWG sync.WaitGroup // worker goroutines
 	jobWG    sync.WaitGroup // enqueued jobs not yet terminal
 }
@@ -219,12 +254,13 @@ func NewPool(cfg PoolConfig) *Pool {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
-		cfg:      cfg,
-		metrics:  &Metrics{},
-		ctx:      ctx,
-		cancel:   cancel,
-		byID:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
+		cfg:          cfg,
+		metrics:      newRecorder(cfg.Workers, cfg.LegacyMetrics),
+		ctx:          ctx,
+		cancel:       cancel,
+		byID:         make(map[string]*Job),
+		inflight:     make(map[string]*Job),
+		clientQueued: make(map[string]int),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.metrics.setWorkers(cfg.Workers)
@@ -242,8 +278,22 @@ func (p *Pool) Cache() *Cache { return p.cfg.Cache }
 func (p *Pool) Workers() int { return p.cfg.Workers }
 
 // Metrics returns a point-in-time snapshot of pool and cache counters.
+// With the default sharded recorder this never blocks a job event: the
+// job counters are read through the wait-free shard registers, and
+// only the admission gauges take the (submission-side) queue lock.
 func (p *Pool) Metrics() MetricsSnapshot {
-	return p.metrics.snapshot(p.cfg.Cache.Stats())
+	s := p.metrics.snapshot(p.cfg.Cache.Stats())
+	p.mu.Lock()
+	s.QueueCost = p.queueCost
+	s.ActiveClients = len(p.clientQueued)
+	p.mu.Unlock()
+	return s
+}
+
+// latencyStats exposes the recorder's latency histogram for the
+// Prometheus exposition (see prom.go).
+func (p *Pool) latencyStats() (stats.Distribution, float64, float64) {
+	return p.metrics.latencyStats()
 }
 
 // ObserveSim folds one freshly simulated cell's counters into the
@@ -258,6 +308,15 @@ func (p *Pool) ObserveSim(scheme string, c *stats.Counters) {
 // already-terminal job; a spec identical to one still in flight
 // returns that in-flight job instead of queueing a duplicate.
 func (p *Pool) Submit(spec JobSpec) (*Job, error) {
+	return p.SubmitFrom("", spec)
+}
+
+// SubmitFrom is Submit with a client identity for the per-client
+// admission tier: the server passes the X-Client-ID header through so
+// each client's share of the queue can be bounded independently. An
+// empty client is anonymous and exempt from the fairness tier.
+func (p *Pool) SubmitFrom(client string, spec JobSpec) (*Job, error) {
+	t0 := time.Now()
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -284,29 +343,55 @@ func (p *Pool) Submit(spec JobSpec) (*Job, error) {
 		j := &Job{id: id, hash: hash, spec: spec, submitted: time.Now(), done: make(chan struct{})}
 		j.cacheHit = true
 		j.finish(StatusDone, res, nil)
-		p.metrics.jobCached()
+		// The cache answer is a real service event with a real measured
+		// latency — recording it as a hard 0 used to drag cache-hot
+		// p50/mean to zero and falsify every SLO read on warm traffic.
+		p.metrics.jobCached(p.metrics.pickShard(), time.Since(t0))
 		p.mu.Lock()
 		p.byID[id] = j
 		p.mu.Unlock()
 		return j, nil
 	}
 
-	j := &Job{id: id, hash: hash, spec: spec, status: StatusQueued, submitted: time.Now(), done: make(chan struct{})}
+	cost := spec.EstimateCost()
+	j := &Job{id: id, hash: hash, spec: spec, status: StatusQueued, submitted: time.Now(), done: make(chan struct{}),
+		client: client, cost: cost}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("simsvc: pool is shut down")
 	}
+	// Admission tiers, cheapest-to-most-specific: global queue bound,
+	// per-client fairness share, cost-aware estimate. Each rejection is
+	// a distinct 429 class so clients and dashboards can tell "the
+	// service is full", "you are over your share" and "your job is too
+	// expensive right now" apart.
 	if p.cfg.MaxQueue > 0 && len(p.queue) >= p.cfg.MaxQueue {
 		p.mu.Unlock()
-		p.metrics.jobShed()
+		p.metrics.jobShed(ShedQueueFull)
 		return nil, fmt.Errorf("%w: queue full (%d jobs waiting)", ErrPoolSaturated, p.cfg.MaxQueue)
 	}
+	if p.cfg.PerClientQueue > 0 && client != "" && p.clientQueued[client] >= p.cfg.PerClientQueue {
+		p.mu.Unlock()
+		p.metrics.jobShed(ShedClientQuota)
+		return nil, fmt.Errorf("%w (client %q already holds %d queued jobs)", ErrClientQuota, client, p.cfg.PerClientQueue)
+	}
+	if p.cfg.MaxQueueCost > 0 && p.queueCost+cost > p.cfg.MaxQueueCost {
+		p.mu.Unlock()
+		p.metrics.jobShed(ShedCost)
+		return nil, fmt.Errorf("%w (estimated cost %d over remaining budget %d)",
+			ErrCostShed, cost, p.cfg.MaxQueueCost-p.queueCost)
+	}
+	j.shard = p.metrics.pickShard()
 	p.byID[id] = j
 	p.inflight[hash] = j
 	p.queue = append(p.queue, j)
+	if client != "" {
+		p.clientQueued[client]++
+	}
+	p.queueCost += cost
 	p.jobWG.Add(1)
-	p.metrics.jobQueued()
+	p.metrics.jobQueued(j.shard)
 	p.cond.Signal()
 	p.mu.Unlock()
 	return j, nil
@@ -349,6 +434,15 @@ func (p *Pool) worker() {
 		}
 		j := p.queue[0]
 		p.queue = p.queue[1:]
+		// The admission gauges cover queued work only: once a job is
+		// handed to a worker it has left the queue, so its client and
+		// cost slots free up for new submissions immediately.
+		if j.client != "" {
+			if p.clientQueued[j.client]--; p.clientQueued[j.client] <= 0 {
+				delete(p.clientQueued, j.client)
+			}
+		}
+		p.queueCost -= j.cost
 		p.mu.Unlock()
 		p.runJob(j)
 	}
@@ -360,11 +454,11 @@ func (p *Pool) runJob(j *Job) {
 
 	if p.ctx.Err() != nil {
 		j.finish(StatusCanceled, nil, fmt.Errorf("simsvc: pool shut down before job ran"))
-		p.metrics.jobDroppedQueued()
+		p.metrics.jobDroppedQueued(j.shard)
 		return
 	}
 
-	p.metrics.jobStarted()
+	p.metrics.jobStarted(j.shard)
 	j.setStarted()
 	start := time.Now()
 
@@ -415,7 +509,7 @@ func (p *Pool) runJob(j *Job) {
 			j.finish(st, nil, fmt.Errorf("%w: job exceeded timeout %v", ErrTimeout, p.cfg.JobTimeout))
 		}
 	}
-	p.metrics.jobFinished(st, time.Since(start))
+	p.metrics.jobFinished(j.shard, st, time.Since(start))
 }
 
 // dropInflight detaches a terminal job from the coalescing map so the

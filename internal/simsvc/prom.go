@@ -19,7 +19,7 @@ var jobLatencyBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 6
 // simulation-level families winsim_.
 func (p *Pool) WritePrometheus(w io.Writer) error {
 	snap := p.Metrics()
-	latency := p.metrics.latencySnapshot()
+	latency, latScale, latSum := p.latencyStats()
 	sims := p.metrics.simSnapshot()
 
 	pw := obs.NewWriter(w)
@@ -43,8 +43,19 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 	pw.Sample("winsimd_jobs_total", obs.L("state", "failed"), float64(snap.JobsFailed))
 	pw.Sample("winsimd_jobs_total", obs.L("state", "canceled"), float64(snap.JobsCanceled))
 	pw.Sample("winsimd_jobs_total", obs.L("state", "shed"), float64(snap.JobsShed))
+	pw.Header("winsimd_jobs_cached_total", "Submissions answered directly by the result cache (subset of done).", "counter")
+	pw.Sample("winsimd_jobs_cached_total", nil, float64(snap.JobsCached))
 	pw.Header("winsimd_panics_total", "Simulation panics caught by the worker recovery barrier.", "counter")
 	pw.Sample("winsimd_panics_total", nil, float64(snap.PanicsTotal))
+
+	pw.Header("winsimd_admission_rejects_total", "Submissions rejected by the admission tiers, by reason.", "counter")
+	pw.Sample("winsimd_admission_rejects_total", obs.L("reason", ShedQueueFull.String()), float64(snap.ShedQueueFull))
+	pw.Sample("winsimd_admission_rejects_total", obs.L("reason", ShedClientQuota.String()), float64(snap.ShedClientQuota))
+	pw.Sample("winsimd_admission_rejects_total", obs.L("reason", ShedCost.String()), float64(snap.ShedCost))
+	pw.Header("winsimd_queue_cost", "Summed cost estimate (threads x windows x text length) of the queued jobs.", "gauge")
+	pw.Sample("winsimd_queue_cost", nil, float64(snap.QueueCost))
+	pw.Header("winsimd_admission_clients", "Distinct clients currently holding queued jobs.", "gauge")
+	pw.Sample("winsimd_admission_clients", nil, float64(snap.ActiveClients))
 
 	pw.Header("winsimd_cache_entries", "Entries resident in the in-memory result cache.", "gauge")
 	pw.Sample("winsimd_cache_entries", nil, float64(snap.CacheEntries))
@@ -54,10 +65,14 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 	pw.Sample("winsimd_cache_hits_total", obs.L("tier", "peer"), float64(snap.CachePeerHits))
 	pw.Header("winsimd_cache_misses_total", "Cache misses.", "counter")
 	pw.Sample("winsimd_cache_misses_total", nil, float64(snap.CacheMisses))
+	pw.Header("winsimd_cache_coalesced_total", "Cold lookups answered by joining another caller's in-flight fetch.", "counter")
+	pw.Sample("winsimd_cache_coalesced_total", nil, float64(snap.CacheCoalesced))
 
-	pw.Header("winsimd_job_latency_seconds", "Wall-clock latency of executed jobs (cache answers included at ~0).", "histogram")
-	lb, lsum, lcount := obs.FoldBuckets(&latency, jobLatencyBounds, 1e-6)
-	pw.Histogram("winsimd_job_latency_seconds", nil, lb, lsum, lcount)
+	pw.Header("winsimd_job_latency_seconds", "Wall-clock latency of executed jobs (cache answers at their real measured latency).", "histogram")
+	lb, _, lcount := obs.FoldBuckets(&latency, jobLatencyBounds, latScale)
+	// The recorder keeps the exact running sum even where the bucketed
+	// distribution is approximate; prefer it for the _sum series.
+	pw.Histogram("winsimd_job_latency_seconds", nil, lb, latSum, lcount)
 
 	schemes := make([]string, 0, len(sims))
 	for s := range sims {

@@ -94,6 +94,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// ClientIDHeader names the submitting client for the per-client
+// admission tier (PoolConfig.PerClientQueue). Absent means anonymous.
+const ClientIDHeader = "X-Client-ID"
+
+// ShedReasonHeader reports which admission tier rejected a 429'd
+// submission: queue_full, client_quota or cost.
+const ShedReasonHeader = "X-Shed-Reason"
+
 // ChecksumHeader carries the hex SHA-256 of a JSON response body.
 // Every writeJSON response attaches it, and the retrying client and
 // the cluster peer-fill tier verify it, so a body corrupted in flight
@@ -154,13 +162,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The client identity for the per-client admission tier; absent
+	// header means anonymous, which the fairness tier exempts.
+	client := r.Header.Get(ClientIDHeader)
+
 	jobs := make([]*Job, len(specs))
 	for i, spec := range specs {
-		j, err := s.pool.Submit(spec)
+		j, err := s.pool.SubmitFrom(client, spec)
 		if err != nil {
-			if errors.Is(err, ErrPoolSaturated) {
-				// Load shedding: tell the client when to come back.
+			if reason, shed := shedReasonOf(err); shed {
+				// Load shedding: tell the client when to come back and
+				// which admission tier turned it away.
 				w.Header().Set("Retry-After", "1")
+				w.Header().Set(ShedReasonHeader, reason.String())
 				writeError(w, http.StatusTooManyRequests, fmt.Errorf("spec %d: %w", i, err))
 				return
 			}

@@ -26,6 +26,21 @@ func (d *Distribution) Observe(v uint64) {
 	d.sum += v
 }
 
+// ObserveN adds count identical samples of value v in one step — how a
+// pre-bucketed histogram (the sharded job-latency shards) is rebuilt
+// into a Distribution without replaying every observation.
+func (d *Distribution) ObserveN(v, count uint64) {
+	if count == 0 {
+		return
+	}
+	if d.counts == nil {
+		d.counts = make(map[uint64]uint64)
+	}
+	d.counts[v] += count
+	d.n += count
+	d.sum += v * count
+}
+
 // N reports the number of samples.
 func (d *Distribution) N() uint64 { return d.n }
 
