@@ -40,6 +40,7 @@ import (
 	"cyclicwin/internal/isa"
 	"cyclicwin/internal/netfault"
 	"cyclicwin/internal/obs"
+	"cyclicwin/internal/regwin"
 	"cyclicwin/internal/sched"
 	"cyclicwin/internal/simsvc"
 )
@@ -68,6 +69,8 @@ func main() {
 	netfaultSpec := flag.String("netfault", "", "with -cluster: inject seeded network faults into outbound requests, e.g. \"seed=42,drop=0.1,delay=30ms:0.25,corrupt=0.05\" (empty = off)")
 	budget := flag.Duration("budget", 0, "with -cluster: per-sweep routing deadline; cells past it skip the network and run inline (0 = none)")
 	leakCheck := flag.Bool("leakcheck", false, "verify at exit that no goroutines outlive the run (chaos-harness assertion)")
+	policyFlag := flag.String("policy", "", "override the scheduling policy of every sweep cell: FIFO, WS or PRIO (default: each experiment's own)")
+	quantum := flag.Uint64("quantum", 0, "preemptive time-slice in cycles applied to every sweep cell (0 = the paper's non-preemptive scheduling)")
 	flag.Parse()
 
 	if *leakCheck {
@@ -152,7 +155,7 @@ func main() {
 		windows = nil
 		for _, f := range strings.Split(*windowsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || n < 2 || n > 32 {
+			if err != nil || n < 2 || n > regwin.MaxWindows {
 				fmt.Fprintf(os.Stderr, "winsim: bad window count %q\n", f)
 				os.Exit(2)
 			}
@@ -238,6 +241,37 @@ func main() {
 		pool := simsvc.NewPool(simsvc.PoolConfig{Workers: *workers, Cache: cache})
 		defer pool.Close()
 		runner = pool.Runner()
+	}
+
+	// -policy and -quantum rewrite every sweep cell before it reaches
+	// the runner. Rewritten specs hash differently, so caches and
+	// cluster routing stay sound; the defaults leave every cell
+	// untouched and the published figures byte-identical.
+	if *policyFlag != "" || *quantum > 0 {
+		var pol sched.Policy
+		havePol := false
+		if *policyFlag != "" {
+			p, err := sched.ParsePolicy(*policyFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "winsim: %v\n", err)
+				os.Exit(2)
+			}
+			pol, havePol = p, true
+		}
+		inner := runner
+		runner = func(cells []harness.CellSpec) []harness.Result {
+			rewritten := make([]harness.CellSpec, len(cells))
+			for i, c := range cells {
+				if havePol {
+					c.Policy = pol
+				}
+				if *quantum > 0 {
+					c.Quantum = *quantum
+				}
+				rewritten[i] = c
+			}
+			return inner(rewritten)
+		}
 	}
 
 	run := func(name string) {
@@ -361,6 +395,12 @@ func serialRunner(maxCycles uint64, faultSeed int64, chrome *obs.ChromeTrace) ha
 	return func(cells []harness.CellSpec) []harness.Result {
 		out := make([]harness.Result, len(cells))
 		for i, c := range cells {
+			if c.Threads > 0 {
+				// T3 chain cells have no chaos points or spell trace
+				// hooks; the watchdog does not apply either.
+				out[i] = c.Run()
+				continue
+			}
 			var inj *fault.Injector
 			if faultSeed != 0 {
 				inj = fault.NewInjector(faultSeed + int64(i))

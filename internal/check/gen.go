@@ -184,6 +184,37 @@ type GridConfig struct {
 	RandomLen              int // length of each random sequence
 	Seed                   uint64
 	Log                    func(format string, args ...interface{}) // optional progress
+
+	// WindowCounts and ThreadCounts, when non-empty, replace the dense
+	// Min..Max ranges with explicit axes — how the T3 grid checks the
+	// sparse high-count points (33, 64, 256 windows; dozens of threads)
+	// without sweeping everything in between.
+	WindowCounts []int
+	ThreadCounts []int
+}
+
+// windowAxis returns the window counts the grid sweeps.
+func (cfg GridConfig) windowAxis() []int {
+	if len(cfg.WindowCounts) > 0 {
+		return cfg.WindowCounts
+	}
+	var out []int
+	for w := cfg.MinWindows; w <= cfg.MaxWindows; w++ {
+		out = append(out, w)
+	}
+	return out
+}
+
+// threadAxis returns the thread counts the grid sweeps.
+func (cfg GridConfig) threadAxis() []int {
+	if len(cfg.ThreadCounts) > 0 {
+		return cfg.ThreadCounts
+	}
+	var out []int
+	for t := 1; t <= cfg.MaxThreads; t++ {
+		out = append(out, t)
+	}
+	return out
 }
 
 // DefaultGrid is the bounded configuration used by winsim -check: the
@@ -199,6 +230,21 @@ func DefaultGrid() GridConfig {
 		RandomRuns:    8,
 		RandomLen:     400,
 		Seed:          1,
+	}
+}
+
+// T3Grid is the wide-file differential grid: the sparse high window
+// counts the multi-word WIM introduced (33 crosses the first word
+// boundary, 64 fills two words, 256 is the ceiling) against thread
+// populations past the file size. Exhaustive enumeration is pointless
+// at this scale; seeded random soaks carry the coverage.
+func T3Grid() GridConfig {
+	return GridConfig{
+		WindowCounts: []int{33, 64, 256},
+		ThreadCounts: []int{8, 64, 128, 256},
+		RandomRuns:   4,
+		RandomLen:    600,
+		Seed:         1,
 	}
 }
 
@@ -230,8 +276,8 @@ func RunGrid(cfg GridConfig) error {
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
-	for w := cfg.MinWindows; w <= cfg.MaxWindows; w++ {
-		for t := 1; t <= cfg.MaxThreads; t++ {
+	for _, w := range cfg.windowAxis() {
+		for _, t := range cfg.threadAxis() {
 			if cfg.ExhaustiveLen > 0 {
 				opts := Options{Windows: w, Threads: t}
 				n, err := Exhaustive(opts, cfg.ExhaustiveLen)

@@ -1,0 +1,34 @@
+package check
+
+import "testing"
+
+// TestParity runs the kernel-level scheduling parity sweep: every
+// scheme (Reference included) must produce identical chain checksums
+// under every policy, preemptively, and across migrating cores, at
+// thread populations far past the window file.
+func TestParity(t *testing.T) {
+	cfg := DefaultParity()
+	if testing.Short() {
+		cfg.ThreadCounts = []int{64}
+		cfg.Items = 16
+	}
+	cfg.Log = t.Logf
+	if err := RunParity(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestT3Grid runs the sparse wide-file differential grid against the
+// Reference oracle (33 windows crosses the first WIM word boundary,
+// 256 is the ceiling).
+func TestT3Grid(t *testing.T) {
+	cfg := T3Grid()
+	if testing.Short() {
+		cfg.RandomRuns = 1
+		cfg.RandomLen = 200
+	}
+	cfg.Log = t.Logf
+	if err := RunGrid(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

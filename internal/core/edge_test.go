@@ -84,22 +84,14 @@ func TestWIMWraparoundMinWindows(t *testing.T) {
 		for depth := 1; depth <= 9; depth++ {
 			m.Save()
 			snap := m.(Snapshotter).Snapshot()
-			if got := popcount(snap.WIM); got != 1 {
-				t.Fatalf("%v depth %d: WIM %#x has %d bits set, want 1", s, depth, snap.WIM, got)
+			if got := snap.WIM.OnesCount(); got != 1 {
+				t.Fatalf("%v depth %d: WIM %v has %d bits set, want 1", s, depth, snap.WIM, got)
 			}
 			if err := m.(Verifier).Verify(); err != nil {
 				t.Fatalf("%v depth %d: %v", s, depth, err)
 			}
 		}
 	}
-}
-
-func popcount(x uint32) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }
 
 // TestSPPRWStealingSaturated pins SP's private-reserved-window

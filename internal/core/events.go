@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"cyclicwin/internal/regwin"
+)
 
 // This file is the core half of the observability layer
 // (internal/obs): a nil-checked event hook, in the same spirit as the
@@ -32,6 +36,9 @@ const (
 	EvUnderflow
 	// EvExit is a thread termination releasing its windows.
 	EvExit
+	// EvMigrate is a forced eviction of a thread's resident windows so
+	// it can move to another core's window file.
+	EvMigrate
 )
 
 // String names the kind, matching internal/trace's rendering.
@@ -51,6 +58,8 @@ func (k EventKind) String() string {
 		return "restore/UNF"
 	case EvExit:
 		return "exit"
+	case EvMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -70,8 +79,8 @@ type Event struct {
 	// Thread is the acting thread id (the target for switches).
 	Thread int `json:"thread"`
 	// CWP and WIM snapshot the window file after the event.
-	CWP int    `json:"cwp"`
-	WIM uint32 `json:"wim"`
+	CWP int         `json:"cwp"`
+	WIM regwin.Mask `json:"wim"`
 }
 
 // EventHook receives events synchronously, on the simulation's
@@ -101,6 +110,7 @@ type evSnap struct {
 	trs    uint64
 	ssv    uint64
 	srs    uint64
+	msv    uint64
 }
 
 // evBegin opens an event scope. Scopes nest (SwitchFlush runs Switch
@@ -121,6 +131,7 @@ func (m *machine) evBegin() evSnap {
 		trs:    c.TrapRestores,
 		ssv:    c.SwitchSaves,
 		srs:    c.SwitchRestores,
+		msv:    c.MigrationSaves,
 	}
 }
 
@@ -144,7 +155,8 @@ func (m *machine) evEnd(kind EventKind, thread int, s evSnap) {
 		Cycle: m.cyc.Total(),
 		Cost:  m.cyc.Total() - s.cycles,
 		Moved: (c.TrapSaves - s.tsv) + (c.TrapRestores - s.trs) +
-			(c.SwitchSaves - s.ssv) + (c.SwitchRestores - s.srs),
+			(c.SwitchSaves - s.ssv) + (c.SwitchRestores - s.srs) +
+			(c.MigrationSaves - s.msv),
 		Kind:   kind,
 		Thread: thread,
 		CWP:    m.file.CWP(),

@@ -113,37 +113,40 @@ func (m *machine) verify(scheme Scheme, reserved int) error {
 		if t != m.running && t.high != t.cwp {
 			return fmt.Errorf("suspended %v has dead windows (cwp %d, high %d)", t, t.cwp, t.high)
 		}
-	}
-
-	// Every registered thread — including windowless ones the ownership
-	// table cannot reach — must conserve its call frames: a thread at
-	// depth d has d+1 frames, each either spilled to the save area or
-	// resident in a live window between bottom and CWP. The in-place
-	// underflow handler (Section 3.2) and every spill path must keep
-	// this exact; losing or duplicating a frame here is how another
-	// thread's window gets silently clobbered.
-	for _, t := range m.threads {
-		if !t.HasWindows() {
-			if o := byThread[t]; o != nil {
-				return fmt.Errorf("%v owns %d slots but HasWindows is false", t, len(o.windows))
-			}
-			if t.prw != noSlot {
-				return fmt.Errorf("windowless %v still holds PRW slot %d", t, t.prw)
-			}
-			if t.saved != 0 && t.saved != t.depth+1 {
-				return fmt.Errorf("windowless %v has %d saved frames at depth %d (want 0 or %d)",
-					t, t.saved, t.depth, t.depth+1)
-			}
-			continue
-		}
-		cwp := t.cwp
-		if t == m.running {
-			cwp = m.file.CWP()
-		}
+		// Frame conservation for resident threads (including threads
+		// created on a sibling core but resident here): a thread at
+		// depth d has d+1 frames, split exactly between the memory save
+		// area and the live windows between bottom and CWP. The
+		// in-place underflow handler (Section 3.2) and every spill path
+		// must keep this exact; losing or duplicating a frame here is
+		// how another thread's window gets silently clobbered.
 		live := m.file.Distance(t.bottom, cwp) + 1
 		if t.saved+live != t.depth+1 {
 			return fmt.Errorf("%v frame conservation broken: %d saved + %d resident != depth %d + 1",
 				t, t.saved, live, t.depth)
+		}
+	}
+
+	// Every registered thread the ownership table cannot reach must be
+	// windowless and conserve its frames entirely in the save area — or,
+	// in a multi-core group, be resident on a sibling core's window
+	// file, which audits it through its own ownership table.
+	for _, t := range m.threads {
+		if t.HasWindows() {
+			if byThread[t] == nil && !m.multi {
+				return fmt.Errorf("%v claims windows but owns no slots", t)
+			}
+			continue // audited through the ownership table above
+		}
+		if o := byThread[t]; o != nil {
+			return fmt.Errorf("%v owns %d slots but HasWindows is false", t, len(o.windows))
+		}
+		if t.prw != noSlot {
+			return fmt.Errorf("windowless %v still holds PRW slot %d", t, t.prw)
+		}
+		if t.saved != 0 && t.saved != t.depth+1 {
+			return fmt.Errorf("windowless %v has %d saved frames at depth %d (want 0 or %d)",
+				t, t.saved, t.depth, t.depth+1)
 		}
 	}
 

@@ -104,6 +104,12 @@ type Config struct {
 	Memory *mem.Memory
 	// Counter is the cycle counter; a fresh one is created when nil.
 	Counter *cycles.Counter
+	// Stacks, when non-nil, is a shared save-area allocator. Multi-core
+	// configurations give every core's machine the same allocator (and
+	// the same Memory) so threads created on different cores get
+	// disjoint save areas; a machine with a shared allocator also
+	// tolerates threads whose windows are resident on a sibling core.
+	Stacks *mem.StackAllocator
 	// SearchAlloc enables the alternative window allocation of Section
 	// 4.2 in the SNP scheme: before allocating at the simple position
 	// (just above the suspended thread), search for a free window with
@@ -183,6 +189,7 @@ type machine struct {
 	transfer int // windows moved per overflow trap (Config.TrapTransfer)
 	activity *stats.ActivityRecorder
 	hw       bool // hardware-assisted cost model (Config.HWAssist)
+	multi    bool // part of a multi-core group (Config.Stacks was shared)
 
 	// threads lists every thread ever registered, so the invariant
 	// checker can audit windowless threads too (the ownership table only
@@ -210,17 +217,22 @@ func newMachine(cfg Config) machine {
 	if c == nil {
 		c = new(cycles.Counter)
 	}
-	return machine{
-		file: regwin.NewFile(cfg.Windows),
-		mem:  m,
-		cyc:  c,
+	stacks := cfg.Stacks
+	if stacks == nil {
 		// Save areas are laid out downward from high memory, 64 KiB per
 		// thread, far from guest data.
-		stacks:   mem.NewStackAllocator(0xfff0000, 1<<16),
+		stacks = mem.NewStackAllocator(0xfff0000, 1<<16)
+	}
+	return machine{
+		file:     regwin.NewFile(cfg.Windows),
+		mem:      m,
+		cyc:      c,
+		stacks:   stacks,
 		slots:    make([]slot, cfg.Windows),
 		transfer: cfg.trapTransfer(),
 		activity: cfg.Activity,
 		hw:       cfg.HWAssist,
+		multi:    cfg.Stacks != nil,
 	}
 }
 

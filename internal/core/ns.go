@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/regwin"
 )
 
 // NS is the conventional non-sharing scheme (Section 4.5): windows are
@@ -90,7 +91,7 @@ func (ns *NS) switchTo(t *Thread, kind EventKind) {
 	ns.owned(w, t)
 	ns.restoreOuts(t)
 	ns.reserved = ns.file.Below(w)
-	ns.file.SetWIM(0)
+	ns.file.SetWIM(regwin.Mask{})
 	ns.file.SetInvalid(ns.reserved, true)
 	ns.noteDispatch(t)
 	ns.running = t

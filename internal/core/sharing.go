@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cyclicwin/internal/cycles"
+	"cyclicwin/internal/regwin"
 )
 
 // This file holds the machinery shared by the two sharing schemes (SNP
@@ -20,7 +21,7 @@ import (
 
 // setWIMRegion marks every window invalid except t's owned region.
 func (m *machine) setWIMRegion(t *Thread) {
-	m.file.SetWIM(1<<uint(m.file.NWindows()) - 1)
+	m.file.SetWIM(regwin.MaskAll(m.file.NWindows()))
 	m.region(t.bottom, t.high, func(w int) { m.file.SetInvalid(w, false) })
 }
 
@@ -154,13 +155,22 @@ func (m *machine) sharedRestore() {
 
 // flushResident spills every live window of t (stack-bottom first) and
 // releases all its slots, for the flushing context switch of Section
-// 4.4. It returns the number of windows transferred.
+// 4.4 and for migration evictions. It returns the number of windows
+// transferred. The thread need not be running: a suspended resident
+// thread's CWP is already synced, and its out registers are saved only
+// when the TCB image is not already authoritative (SNP parks them
+// there at switch-out; SP leaves them in the PRW, which Outs(t.cwp)
+// still aliases).
 func (m *machine) flushResident(t *Thread) int {
 	if !t.HasWindows() {
 		return 0
 	}
-	m.syncCWP(t)
-	m.saveOuts(t)
+	if t == m.running {
+		m.syncCWP(t)
+	}
+	if !t.outsSave {
+		m.saveOuts(t)
+	}
 	m.freeDeadAbove(t)
 	k := 0
 	m.region(t.bottom, t.cwp, func(w int) {

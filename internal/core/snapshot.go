@@ -32,7 +32,7 @@ type ThreadWindows struct {
 type Snapshot struct {
 	Scheme   Scheme
 	CWP      int
-	WIM      uint32
+	WIM      regwin.Mask
 	Reserved int // global reserved slot (NS/SNP), -1 under SP
 	Running  int // running thread id, -1 when none
 	Threads  []ThreadWindows
@@ -41,7 +41,7 @@ type Snapshot struct {
 // String renders the snapshot compactly for divergence reports.
 func (s Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%v cwp=%d wim=%#x reserved=%d running=%d", s.Scheme, s.CWP, s.WIM, s.Reserved, s.Running)
+	fmt.Fprintf(&b, "%v cwp=%d wim=%v reserved=%d running=%d", s.Scheme, s.CWP, s.WIM, s.Reserved, s.Running)
 	for _, t := range s.Threads {
 		fmt.Fprintf(&b, " t%d{slots=%v prw=%d cwp=%d depth=%d saved=%d}",
 			t.ID, t.Slots, t.PRW, t.CWP, t.Depth, t.Saved)

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cyclicwin/internal/regwin"
+)
+
+// This file pins the wide window files enabled by the multi-word WIM:
+// 33, 64 and 256 windows, where the mask spans more than one machine
+// word. The interesting boundary is window 32 (and 64, 128, ...): a
+// truncating 32-bit WIM would pass every historical test and fail only
+// here.
+
+var wideCounts = []int{33, 64, 256}
+
+// TestWideWindowDeepWrap drives one thread past the window count and
+// back at each wide file size, so the region and the WIM wrap the whole
+// multi-word mask, comparing every register against the oracle at every
+// step (via the rig) and auditing invariants after each operation.
+func TestWideWindowDeepWrap(t *testing.T) {
+	for _, n := range wideCounts {
+		if testing.Short() && n > 64 {
+			continue
+		}
+		depth := n + 5
+		r := newRig(t, n, 1)
+		r.switchTo(0, false)
+		for i := 0; i < depth; i++ {
+			r.save(int64(i))
+			r.write(RegCheck, uint32(0xB0000000+i))
+		}
+		for i := 0; i < depth; i++ {
+			r.restore()
+		}
+	}
+}
+
+// TestWideWIMPopcount pins the invalid-window count on wide files: as a
+// single thread's region grows, the sharing schemes keep exactly
+// n - len(region) WIM bits set (every window outside the region), and
+// NS keeps exactly one (its reserved window). At 64 windows this walks
+// the count across the 32-bit word boundary one window at a time.
+func TestWideWIMPopcount(t *testing.T) {
+	for _, n := range wideCounts {
+		if testing.Short() && n > 64 {
+			continue
+		}
+		for _, s := range Schemes {
+			m := New(s, Config{Windows: n})
+			th := m.NewThread(0, "t0")
+			m.Switch(th)
+			for depth := 1; depth <= n+2; depth++ {
+				m.Save()
+				snap := m.(Snapshotter).Snapshot()
+				var region []int
+				for _, tw := range snap.Threads {
+					if tw.ID == 0 {
+						region = tw.Slots
+					}
+				}
+				want := n - len(region)
+				if s == SchemeNS {
+					want = 1
+				}
+				if got := snap.WIM.OnesCount(); got != want {
+					t.Fatalf("%v windows=%d depth=%d: WIM %v has %d bits, want %d (region %d slots)",
+						s, n, depth, snap.WIM, got, want, len(region))
+				}
+				for _, w := range region {
+					if snap.WIM.Bit(w) {
+						t.Fatalf("%v windows=%d depth=%d: region slot %d marked invalid", s, n, depth, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWideWIMWordBoundary pins the WIM bit of window 32 — the first bit
+// of the mask's second word — as a thread's region grows across it on a
+// 64-window file: invalid while outside the region, valid once the
+// region covers it, and invalid again after a flushing switch empties
+// the file.
+func TestWideWIMWordBoundary(t *testing.T) {
+	for _, s := range []Scheme{SchemeSNP, SchemeSP} {
+		m := New(s, Config{Windows: 64})
+		th := m.NewThread(0, "t0")
+		m.Switch(th)
+		covered := func() bool {
+			snap := m.(Snapshotter).Snapshot()
+			for _, tw := range snap.Threads {
+				if tw.ID == 0 {
+					for _, w := range tw.Slots {
+						if w == 32 {
+							return true
+						}
+					}
+				}
+			}
+			return false
+		}
+		sawFlip := false
+		for depth := 1; depth <= 40; depth++ {
+			m.Save()
+			snap := m.(Snapshotter).Snapshot()
+			if in := covered(); snap.WIM.Bit(32) == in {
+				t.Fatalf("%v depth %d: window 32 in region=%v but WIM bit=%v", s, depth, in, snap.WIM.Bit(32))
+			} else if in {
+				sawFlip = true
+			}
+		}
+		if !sawFlip {
+			t.Fatalf("%v: region never grew across window 32 in 40 saves", s)
+		}
+		// A flushing switch to a fresh thread leaves window 32 outside the
+		// new one-window region: the bit must come back.
+		t2 := m.NewThread(1, "t1")
+		m.SwitchFlush(t2)
+		if snap := m.(Snapshotter).Snapshot(); !snap.WIM.Bit(32) {
+			t.Fatalf("%v after flush: window 32 still valid (WIM %v)", s, snap.WIM)
+		}
+	}
+}
+
+// TestWideSnapshotEventRoundTrip drives a 64-window file until the
+// running thread's region crosses the word boundary, then round-trips
+// both the snapshot's WIM and a hooked core.Event through JSON,
+// expecting bit-exact recovery of mask bits above bit 31.
+func TestWideSnapshotEventRoundTrip(t *testing.T) {
+	for _, s := range Schemes {
+		m := New(s, Config{Windows: 64})
+		var last Event
+		m.(EventSource).SetEventHook(func(ev Event) { last = ev })
+		th := m.NewThread(0, "t0")
+		m.Switch(th)
+		for depth := 1; depth <= 40; depth++ {
+			m.Save()
+		}
+		snap := m.(Snapshotter).Snapshot()
+		if s != SchemeNS && snap.WIM.OnesCount() >= 32 {
+			t.Fatalf("%v: region never crossed the word boundary (WIM %v)", s, snap.WIM)
+		}
+		blob, err := json.Marshal(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Event
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("%v: unmarshal %s: %v", s, blob, err)
+		}
+		if back.WIM != last.WIM || back.CWP != last.CWP || back.Kind != last.Kind {
+			t.Fatalf("%v: event round trip %v -> %v", s, last, back)
+		}
+		if back.WIM != snap.WIM {
+			t.Fatalf("%v: event WIM %v != snapshot WIM %v", s, back.WIM, snap.WIM)
+		}
+		var m2 regwin.Mask
+		wire, _ := json.Marshal(snap.WIM)
+		if err := json.Unmarshal(wire, &m2); err != nil || m2 != snap.WIM {
+			t.Fatalf("%v: mask round trip %s -> %v (err %v)", s, wire, m2, err)
+		}
+	}
+}
+
+// TestWideSaturatedSharing round-robins more threads than fit over a
+// 33-window file (the smallest multi-word mask), forcing steals and
+// refills with live WIM bits on both sides of the word boundary.
+func TestWideSaturatedSharing(t *testing.T) {
+	const nthreads = 6
+	r := newRig(t, 33, nthreads)
+	for round := 0; round < 3; round++ {
+		for j := 0; j < nthreads; j++ {
+			r.switchTo(j, round == 1 && j == 2)
+			for i := 0; i < 3; i++ {
+				r.save(int64(round*100 + j*10 + i))
+				r.write(RegCheck, uint32(round<<16|j<<8|i))
+			}
+		}
+	}
+	for j := 0; j < nthreads; j++ {
+		r.switchTo(j, false)
+		for i := 0; i < 9; i++ {
+			r.restore()
+		}
+	}
+}

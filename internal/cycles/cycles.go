@@ -121,6 +121,22 @@ const (
 	HWWIMUpdate = 1
 )
 
+// Multi-core migration costs. Migrating a thread to another core's
+// window file is priced as a forced flush on the source core: the
+// software handoff overhead below plus SaveWindow per resident window
+// flushed (the destination core then refills on demand through the
+// ordinary switch and trap paths).
+const (
+	// MigrationBase is the software overhead of descheduling a thread on
+	// its source core and handing it to another core's run queue, before
+	// any window traffic.
+	MigrationBase = 64
+
+	// HWMigrationBase replaces MigrationBase when the hand-off is a
+	// hardware context-unit operation (Config.HWAssist).
+	HWMigrationBase = 12
+)
+
 // Trap totals derived from the components above.
 const (
 	// OverflowTrap is the full cost of a window-overflow trap with the

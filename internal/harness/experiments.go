@@ -252,7 +252,19 @@ type Series struct {
 type Figure struct {
 	Title  string
 	YLabel string
+	// XLabel names the x axis; empty means the classic "windows" (the
+	// Point.Windows field doubles as a generic x value — thread counts
+	// and migration cadences for the T3 figures).
+	XLabel string
 	Series []Series
+}
+
+// xlabel returns the x-axis name, defaulting to the classic sweeps'.
+func (f Figure) xlabel() string {
+	if f.XLabel == "" {
+		return "windows"
+	}
+	return f.XLabel
 }
 
 // figureMetric extracts the plotted value from a run.
@@ -343,7 +355,7 @@ func RunFig15With(sz Sizes, windows []int, run Runner) Figure {
 func (f Figure) Render(w io.Writer) {
 	fmt.Fprintln(w, f.Title)
 	fmt.Fprintf(w, "y: %s\n", f.YLabel)
-	fmt.Fprintf(w, "%8s", "windows")
+	fmt.Fprintf(w, "%8s", f.xlabel())
 	for _, s := range f.Series {
 		fmt.Fprintf(w, "%16s", s.Label)
 	}
@@ -366,7 +378,7 @@ func (f Figure) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# %s (%s)\n", f.Title, f.YLabel); err != nil {
 		return err
 	}
-	fmt.Fprint(w, "windows")
+	fmt.Fprint(w, f.xlabel())
 	for _, s := range f.Series {
 		fmt.Fprintf(w, ",%s", s.Label)
 	}

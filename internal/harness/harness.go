@@ -125,11 +125,33 @@ type CellSpec struct {
 	Policy   sched.Policy
 	Behavior Behavior
 	Sizes    Sizes
+
+	// T3-scale fields, all defaulting to the classic spell cell.
+	// Threads > 0 selects the chain pipeline workload with that many
+	// threads instead of the seven-thread spell checker; Cores > 1
+	// models that many window files; Quantum arms preemptive
+	// time-slicing; MigrateEvery arms deterministic migration (see
+	// sched.Kernel.SetMigrateEvery).
+	Threads      int
+	Cores        int
+	Quantum      uint64
+	MigrateEvery int
 }
 
 // Run executes the cell in the calling goroutine.
 func (c CellSpec) Run() Result {
-	return RunSpell(c.Scheme, c.Windows, c.Policy, c.Behavior, c.Sizes)
+	if c.Threads > 0 {
+		return RunT3(c)
+	}
+	r, err := RunSpellWith(SpellOpts{
+		Config: core.Config{Windows: c.Windows},
+		Scheme: c.Scheme, Policy: c.Policy, Behavior: c.Behavior, Sizes: c.Sizes,
+		Quantum: c.Quantum,
+	})
+	if err != nil {
+		panic(err) // the sweep behaviours and fixed workload cannot fail
+	}
+	return r
 }
 
 // Runner executes a batch of sweep cells and returns their results in
@@ -178,6 +200,9 @@ type SpellOpts struct {
 
 	// MaxCycles arms the kernel's cycle-budget watchdog (0 = off).
 	MaxCycles uint64
+	// Quantum arms preemptive time-slicing (0 = the paper's
+	// non-preemptive scheduling).
+	Quantum uint64
 	// Chaos, when non-nil, is attached to the kernel's perturbation
 	// points before the run.
 	Chaos *fault.Injector
@@ -202,6 +227,9 @@ func RunSpellWith(o SpellOpts) (Result, error) {
 	k := sched.NewKernel(mgr, o.Policy)
 	if o.MaxCycles > 0 {
 		k.SetMaxCycles(o.MaxCycles)
+	}
+	if o.Quantum > 0 {
+		k.SetQuantum(o.Quantum)
 	}
 	if o.Chaos != nil {
 		k.SetChaos(o.Chaos)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cyclicwin/internal/core"
+	"cyclicwin/internal/regwin"
 )
 
 func TestTracerRing(t *testing.T) {
@@ -161,7 +162,7 @@ func TestJobTraceRoundTrip(t *testing.T) {
 		Total: 9, Limit: 4,
 		ThreadNames: map[int]string{2: "main"},
 		Events: []core.Event{
-			{Cycle: 10, Cost: 4, Moved: 1, Kind: core.EvOverflow, Thread: 2, CWP: 1, WIM: 0b0100},
+			{Cycle: 10, Cost: 4, Moved: 1, Kind: core.EvOverflow, Thread: 2, CWP: 1, WIM: regwin.MaskOf(0b0100)},
 		},
 	}
 	blob, err := json.Marshal(jt)

@@ -18,10 +18,13 @@ const (
 	NPart       = 8  // registers per in/local/out partition
 	WindowWords = 16 // in + local registers spilled/filled per window
 
-	// MinWindows and MaxWindows bound the implemented window counts,
-	// matching SPARC V8 (2..32) and the paper's evaluation range (4..32).
+	// MinWindows and MaxWindows bound the implemented window counts.
+	// The minimum matches SPARC V8; the maximum extends past the
+	// paper's 4..32 evaluation range to T3-class files, where hundreds
+	// of hardware threads share register resources. The WIM is a Mask
+	// (multi-word bitset) so window counts above 32 stay exact.
 	MinWindows = 2
-	MaxWindows = 32
+	MaxWindows = 256
 )
 
 // Window-relative register numbers, SPARC V8 numbering.
@@ -42,7 +45,7 @@ const (
 type File struct {
 	n       int
 	cwp     int
-	wim     uint32
+	wim     Mask
 	globals [NGlobals]uint32
 	ins     [][NPart]uint32
 	locals  [][NPart]uint32
@@ -73,34 +76,22 @@ func (f *File) SetCWP(w int) { f.cwp = f.norm(w) }
 
 // WIM reports the window invalid mask; bit i set means window i is
 // reserved (a save or restore into it traps).
-func (f *File) WIM() uint32 { return f.wim }
+func (f *File) WIM() Mask { return f.wim }
 
-// SetWIM replaces the whole window invalid mask.
-func (f *File) SetWIM(m uint32) { f.wim = m & (1<<uint(f.n) - 1) }
+// SetWIM replaces the whole window invalid mask; bits at or above the
+// window count are discarded.
+func (f *File) SetWIM(m Mask) { f.wim = m.And(MaskAll(f.n)) }
 
 // Invalid reports whether window w is marked in the WIM.
-func (f *File) Invalid(w int) bool { return f.wim&(1<<uint(f.norm(w))) != 0 }
+func (f *File) Invalid(w int) bool { return f.wim.Bit(f.norm(w)) }
 
 // SetInvalid sets or clears the WIM bit of window w.
 func (f *File) SetInvalid(w int, invalid bool) {
-	bit := uint32(1) << uint(f.norm(w))
-	if invalid {
-		f.wim |= bit
-	} else {
-		f.wim &^= bit
-	}
+	f.wim.SetTo(f.norm(w), invalid)
 }
 
 // InvalidCount reports how many windows are currently marked invalid.
-func (f *File) InvalidCount() int {
-	c := 0
-	for w := 0; w < f.n; w++ {
-		if f.Invalid(w) {
-			c++
-		}
-	}
-	return c
-}
+func (f *File) InvalidCount() int { return f.wim.OnesCount() }
 
 // Above returns the window above w (the one a save moves into): w-1 mod n.
 func (f *File) Above(w int) int { return f.norm(w - 1) }

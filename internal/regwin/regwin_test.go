@@ -6,7 +6,7 @@ import (
 )
 
 func TestNewFilePanicsOutOfRange(t *testing.T) {
-	for _, n := range []int{-1, 0, 1, 33, 100} {
+	for _, n := range []int{-1, 0, 1, MaxWindows + 1, 1000} {
 		n := n
 		func() {
 			defer func() {
@@ -135,9 +135,9 @@ func TestWIMTraps(t *testing.T) {
 
 func TestSetWIMMasksToWindowCount(t *testing.T) {
 	f := NewFile(4)
-	f.SetWIM(0xffffffff)
-	if f.WIM() != 0xf {
-		t.Errorf("WIM = %#x, want 0xf", f.WIM())
+	f.SetWIM(MaskAll(MaxWindows))
+	if f.WIM() != MaskOf(0xf) {
+		t.Errorf("WIM = %v, want 0xf", f.WIM())
 	}
 	if f.InvalidCount() != 4 {
 		t.Errorf("InvalidCount = %d, want 4", f.InvalidCount())

@@ -1,9 +1,15 @@
-// Package sched provides the non-preemptive multi-threading kernel the
-// paper's evaluation runs on: guest threads as coroutines, a FIFO ready
-// queue, the working-set scheduling policy of Section 4.6, and blocking
-// primitives used by the stream package. All window motion is delegated
-// to a core.Manager, so the same workload runs unchanged under the NS,
-// SNP and SP schemes.
+// Package sched provides the multi-threading kernel the paper's
+// evaluation runs on: guest threads as coroutines, a ring-buffer ready
+// queue, the FIFO and working-set (Section 4.6) policies, and blocking
+// primitives used by the stream package. All window motion is
+// delegated to a core.Manager, so the same workload runs unchanged
+// under the NS, SNP and SP schemes. Beyond the paper, the kernel also
+// offers priority scheduling with preemption (Policy Priority),
+// quantum-based time-slicing (SetQuantum), and multi-core operation
+// with deterministic thread migration (NewMultiKernel,
+// SetMigrateEvery) for T3-scale configurations; all of these default
+// off, leaving the paper's non-preemptive single-core behaviour
+// byte-exact.
 //
 // Guest threads are goroutines, but exactly one of them (or the kernel)
 // runs at any time, handing a single control token back and forth, so
@@ -39,14 +45,37 @@ const (
 	// basic scheduler remains FIFO; selection happens only at wake-up,
 	// so no overhead is added to context switching.
 	WorkingSet
+	// Priority dispatches the highest-priority ready thread first
+	// (FIFO within a level; see TCB.SetPriority), and preempts the
+	// running thread at its next safe point whenever a strictly
+	// higher-priority thread becomes ready — even without a quantum.
+	// An extension beyond the paper, for T3-scale schedules.
+	Priority
 )
+
+// Policies lists every scheduling policy.
+var Policies = []Policy{FIFO, WorkingSet, Priority}
 
 // String returns the policy name.
 func (p Policy) String() string {
-	if p == WorkingSet {
+	switch p {
+	case WorkingSet:
 		return "WS"
+	case Priority:
+		return "PRIO"
 	}
 	return "FIFO"
+}
+
+// ParsePolicy maps a policy name (as produced by String) back to the
+// policy; it accepts FIFO, WS and PRIO.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies {
+		if name == p.String() {
+			return p, nil
+		}
+	}
+	return FIFO, fmt.Errorf("sched: unknown policy %q (want FIFO, WS or PRIO)", name)
 }
 
 // State is a thread's scheduling state.
@@ -108,6 +137,16 @@ type TCB struct {
 	// back of the queue — the working-set rationale for jumping the
 	// queue no longer holds once the windows are gone.
 	wokeResident bool
+
+	// pri is the thread's scheduling priority (Priority policy only);
+	// higher values dispatch first.
+	pri int
+
+	// coreIdx is the index of the core whose window file currently
+	// hosts the thread; dispatches counts dispatches, driving the
+	// deterministic migration cadence (Kernel.SetMigrateEvery).
+	coreIdx    int
+	dispatches uint64
 }
 
 // Name returns the thread's name.
@@ -127,6 +166,26 @@ func (t *TCB) Stats() *stats.ThreadCounters { return &t.Core.Stats }
 // switch type (Section 4.4).
 func (t *TCB) SetFlushOnSwitch(f bool) { t.flushOnSwitch = f }
 
+// SetPriority sets the thread's scheduling priority, clamped to
+// [0, PriorityLevels-1]. Only the Priority policy consults it; higher
+// priorities dispatch first.
+func (t *TCB) SetPriority(p int) {
+	if p < 0 {
+		p = 0
+	}
+	if p >= PriorityLevels {
+		p = PriorityLevels - 1
+	}
+	t.pri = p
+}
+
+// Priority returns the thread's scheduling priority.
+func (t *TCB) Priority() int { return t.pri }
+
+// CoreIndex reports which core's window file currently hosts the
+// thread (always 0 on single-core kernels).
+func (t *TCB) CoreIndex() int { return t.coreIdx }
+
 // diag is a registered resource diagnostic (streams register their
 // occupancy here) consulted when building a deadlock report.
 type diag struct {
@@ -134,20 +193,37 @@ type diag struct {
 	fn   func() string
 }
 
-// Kernel is the non-preemptive scheduler.
+// Kernel is the scheduler: non-preemptive FIFO/WorkingSet as in the
+// paper, optionally preemptive (SetQuantum, the Priority policy) and
+// multi-core (NewMultiKernel) for T3-scale configurations.
 type Kernel struct {
-	mgr core.Manager
+	// cores are the window managers, one per modelled core; mgr is the
+	// manager of the core the current thread runs on (cores[0] between
+	// dispatches). All cores share one cycle counter, one memory and
+	// one stack allocator.
+	cores []core.Manager
+	mgr   core.Manager
+	// lastOnCore tracks, per core, the thread last dispatched there —
+	// the thread the core's manager still considers running, whose
+	// flushOnSwitch setting governs the next switch type on that core.
+	lastOnCore []*TCB
 	// cyc caches mgr.Cycles() so the Work hot path charges the clock
 	// without an interface dispatch per call; the counter identity never
-	// changes over a manager's lifetime.
+	// changes over a manager's lifetime and is shared by all cores.
 	cyc     *cycles.Counter
 	policy  Policy
 	threads []*TCB
-	ready   []*TCB
+	ready   readyQueue
 	current *TCB
 	yield   chan struct{}
 	nextID  int
 	running bool
+
+	// migrateEvery, when non-zero on a multi-core kernel, migrates a
+	// thread to the next core on every migrateEvery-th dispatch of that
+	// thread — a deterministic stand-in for a migration rate of
+	// 1/migrateEvery.
+	migrateEvery int
 
 	// err is the first thread failure; Run aborts with it.
 	err error
@@ -174,11 +250,60 @@ type Kernel struct {
 // NewKernel returns a kernel scheduling threads onto mgr's windows under
 // the given policy.
 func NewKernel(mgr core.Manager, policy Policy) *Kernel {
-	return &Kernel{mgr: mgr, cyc: mgr.Cycles(), policy: policy, yield: make(chan struct{})}
+	return NewMultiKernel([]core.Manager{mgr}, policy)
 }
 
-// Manager returns the window manager the kernel drives.
+// NewMultiKernel returns a kernel scheduling threads across M cores,
+// each owning a window file. The managers must share one cycle counter
+// (and, for threads to survive migration, one Memory and one
+// StackAllocator — core.Config.Stacks). Threads are assigned home
+// cores round-robin at spawn and move only under SetMigrateEvery.
+func NewMultiKernel(mgrs []core.Manager, policy Policy) *Kernel {
+	if len(mgrs) == 0 {
+		panic("sched: NewMultiKernel with no cores")
+	}
+	cyc := mgrs[0].Cycles()
+	for _, m := range mgrs[1:] {
+		if m.Cycles() != cyc {
+			panic("sched: multi-core managers must share one cycle counter")
+		}
+	}
+	return &Kernel{
+		cores:      mgrs,
+		mgr:        mgrs[0],
+		lastOnCore: make([]*TCB, len(mgrs)),
+		cyc:        cyc,
+		policy:     policy,
+		yield:      make(chan struct{}),
+	}
+}
+
+// Manager returns the window manager the kernel drives (the current
+// thread's core on multi-core kernels).
 func (k *Kernel) Manager() core.Manager { return k.mgr }
+
+// Cores returns the per-core window managers.
+func (k *Kernel) Cores() []core.Manager { return k.cores }
+
+// coreMgr returns the manager of the core hosting t.
+func (k *Kernel) coreMgr(t *TCB) core.Manager { return k.cores[t.coreIdx] }
+
+// SetMigrateEvery arms deterministic thread migration on a multi-core
+// kernel: every n-th dispatch of a thread evicts it from its core (a
+// forced flush priced by cycles.MigrationBase) and reassigns it to the
+// next core round-robin. 0 disables migration. Single-core kernels
+// ignore the setting.
+func (k *Kernel) SetMigrateEvery(n int) { k.migrateEvery = n }
+
+// TotalCounters aggregates the per-core manager counters into one set
+// (a copy; on single-core kernels it equals *Manager().Counters()).
+func (k *Kernel) TotalCounters() stats.Counters {
+	out := k.cores[0].Counters().Clone()
+	for _, m := range k.cores[1:] {
+		out.Add(m.Counters())
+	}
+	return out
+}
 
 // Policy returns the scheduling policy.
 func (k *Kernel) Policy() Policy { return k.policy }
@@ -211,7 +336,7 @@ func (k *Kernel) SetChaos(inj *fault.Injector) {
 		return
 	}
 	inj.Arm(fault.PointPreempt, func() {
-		if k.current != nil && len(k.ready) > 0 {
+		if k.current != nil && k.ready.len() > 0 {
 			k.yieldCurrent()
 		}
 	})
@@ -238,17 +363,19 @@ func (k *Kernel) SetChaos(inj *fault.Injector) {
 // spawn order; threads spawned by running guests are enqueued at the
 // back of the ready queue.
 func (k *Kernel) Spawn(name string, body func(*Env)) *TCB {
+	coreIdx := k.nextID % len(k.cores)
 	t := &TCB{
-		Core:   k.mgr.NewThread(k.nextID, name),
-		name:   name,
-		body:   body,
-		state:  Ready,
-		resume: make(chan struct{}),
+		Core:    k.cores[coreIdx].NewThread(k.nextID, name),
+		coreIdx: coreIdx,
+		name:    name,
+		body:    body,
+		state:   Ready,
+		resume:  make(chan struct{}),
 	}
 	k.nextID++
 	t.env = &Env{k: k, tcb: t}
 	k.threads = append(k.threads, t)
-	k.ready = append(k.ready, t)
+	k.ready.pushBack(k.level(t), t)
 	go func() {
 		<-t.resume
 		err := runBody(t)
@@ -276,9 +403,19 @@ func (k *Kernel) Spawn(name string, body func(*Env)) *TCB {
 		}
 		t.joiners = nil
 		k.current = nil
+		k.lastOnCore[t.coreIdx] = nil
 		k.yield <- struct{}{}
 	}()
 	return t
+}
+
+// level returns the ready-queue bucket for t: its priority under the
+// Priority policy, the single FIFO bucket otherwise.
+func (k *Kernel) level(t *TCB) int {
+	if k.policy == Priority {
+		return t.pri
+	}
+	return 0
 }
 
 // threadFail is the panic sentinel Env.Fail unwinds the guest body
@@ -312,6 +449,11 @@ func (k *Kernel) Run() error {
 	}
 	k.running = true
 	defer func() { k.running = false }()
+	// Priorities are usually assigned between Spawn and Run, after the
+	// spawn already enqueued the thread; re-bucket the queue so the
+	// first dispatch honours them (mid-run changes take effect at the
+	// thread's next enqueue, or lazily via pop's stale-bucket re-file).
+	k.refileReady()
 	for {
 		if k.err != nil {
 			return k.err
@@ -328,19 +470,47 @@ func (k *Kernel) Run() error {
 			}
 			return nil // all done
 		}
-		if t != k.current {
-			if out := k.current; out != nil && out.flushOnSwitch {
-				k.mgr.SwitchFlush(t.Core)
+		migrated := k.placeThread(t)
+		mgr := k.cores[t.coreIdx]
+		if t != k.current || migrated {
+			// The switch type is governed by the thread this core last
+			// ran (still resident in its manager), not by the globally
+			// previous thread, which may live on another core.
+			if out := k.lastOnCore[t.coreIdx]; out != nil && out.flushOnSwitch {
+				mgr.SwitchFlush(t.Core)
 			} else {
-				k.mgr.Switch(t.Core)
+				mgr.Switch(t.Core)
 			}
 		}
+		k.lastOnCore[t.coreIdx] = t
+		k.mgr = mgr
 		k.current = t
 		t.state = Running
 		k.dispatched = k.cyc.Total()
 		t.resume <- struct{}{}
 		<-k.yield
 	}
+}
+
+// placeThread applies the migration policy at dispatch: on every
+// migrateEvery-th dispatch of t (multi-core kernels only), t's
+// resident windows are forcibly evicted from its core — the forced
+// flush the cycle model prices as a migration — and t moves to the
+// next core round-robin. It reports whether t changed cores.
+func (k *Kernel) placeThread(t *TCB) bool {
+	t.dispatches++
+	if len(k.cores) < 2 || k.migrateEvery <= 0 || t.dispatches%uint64(k.migrateEvery) != 0 {
+		return false
+	}
+	from := t.coreIdx
+	if mig, ok := k.cores[from].(core.Migrator); ok {
+		mig.Evict(t.Core)
+	}
+	if k.lastOnCore[from] == t {
+		k.lastOnCore[from] = nil
+	}
+	t.coreIdx = (from + 1) % len(k.cores)
+	return true
 }
 
 // threadStates snapshots every thread's scheduling state for a
@@ -368,26 +538,54 @@ func (k *Kernel) budgetError() error {
 	return &fault.BudgetError{Limit: k.maxCycles, Cycle: k.cyc.Total(), Threads: k.threadStates()}
 }
 
-func (k *Kernel) pop() *TCB {
-	if len(k.ready) == 0 {
-		return nil
+// refileReady rebuilds the ready queue with every thread in the bucket
+// its current priority selects, preserving FIFO order within a level.
+func (k *Kernel) refileReady() {
+	if k.policy != Priority {
+		return
 	}
+	var all []*TCB
+	for lvl := 0; lvl < PriorityLevels; lvl++ {
+		for k.ready.levels[lvl].len() > 0 {
+			all = append(all, k.ready.popFront(lvl))
+		}
+	}
+	for _, t := range all {
+		k.ready.pushBack(k.level(t), t)
+	}
+}
+
+func (k *Kernel) pop() *TCB {
 	// Working-set front-queueing is justified only while the woken
 	// thread's windows are actually resident. If they were reclaimed
 	// between wake and dispatch, demote the head to the back once (the
-	// cleared flag guarantees progress) and take the next thread.
-	for k.policy == WorkingSet && len(k.ready) > 1 &&
-		k.ready[0].wokeResident && !k.mgr.Resident(k.ready[0].Core) {
-		t := k.ready[0]
-		t.wokeResident = false
-		copy(k.ready, k.ready[1:])
-		k.ready[len(k.ready)-1] = t
+	// cleared flag guarantees progress) and take the next thread. On
+	// the deque a demotion is one pop plus one push — O(1), where the
+	// old slice implementation shifted the whole queue.
+	for k.policy == WorkingSet && k.ready.len() > 1 {
+		h := k.ready.peekFront(0)
+		if !h.wokeResident || k.coreMgr(h).Resident(h.Core) {
+			break
+		}
+		h.wokeResident = false
+		k.ready.popFront(0)
+		k.ready.pushBack(0, h)
 	}
-	t := k.ready[0]
-	t.wokeResident = false
-	copy(k.ready, k.ready[1:])
-	k.ready = k.ready[:len(k.ready)-1]
-	return t
+	for {
+		lvl := k.ready.top()
+		if lvl < 0 {
+			return nil
+		}
+		t := k.ready.popFront(lvl)
+		// A priority set after enqueue leaves the TCB in a stale
+		// bucket; re-file it and pick again.
+		if want := k.level(t); want != lvl {
+			k.ready.pushBack(want, t)
+			continue
+		}
+		t.wokeResident = false
+		return t
+	}
 }
 
 // Wake moves a blocked thread to the ready queue. Under the working-set
@@ -399,17 +597,17 @@ func (k *Kernel) Wake(t *TCB) {
 		return
 	}
 	t.state = Ready
-	if k.policy == WorkingSet && k.mgr.Resident(t.Core) {
+	if k.policy == WorkingSet && k.coreMgr(t).Resident(t.Core) {
 		t.wokeResident = true
-		k.ready = append([]*TCB{t}, k.ready...)
+		k.ready.pushFront(0, t)
 	} else {
-		k.ready = append(k.ready, t)
+		k.ready.pushBack(k.level(t), t)
 	}
 }
 
 // ReadyLen reports the current ready-queue length (the paper's parallel
 // slackness at this instant).
-func (k *Kernel) ReadyLen() int { return len(k.ready) }
+func (k *Kernel) ReadyLen() int { return k.ready.len() }
 
 // blockCurrent suspends the running thread (caller must be the guest
 // goroutine holding the token) until somebody wakes it.
@@ -420,12 +618,12 @@ func (k *Kernel) blockCurrent() {
 	<-t.resume
 }
 
-// yieldCurrent re-enqueues the running thread at the back and lets the
-// scheduler pick the next one.
+// yieldCurrent re-enqueues the running thread at the back (of its
+// priority level) and lets the scheduler pick the next one.
 func (k *Kernel) yieldCurrent() {
 	t := k.current
 	t.state = Ready
-	k.ready = append(k.ready, t)
+	k.ready.pushBack(k.level(t), t)
 	k.yield <- struct{}{}
 	<-t.resume
 }
@@ -434,16 +632,30 @@ func (k *Kernel) yieldCurrent() {
 // cycles (0 restores the paper's non-preemptive behaviour).
 func (k *Kernel) SetQuantum(cycles uint64) { k.quantum = cycles }
 
-// maybePreempt yields the running thread if its quantum expired and
-// somebody else is ready. Called from the guest side at safe points.
+// maybePreempt yields the running thread at a safe point when (a) the
+// Priority policy has a strictly higher-priority thread ready, or (b)
+// time-slicing is armed and the quantum expired with somebody else
+// ready. Called from the guest side at safe points (Work, both edges
+// of Call, stream operations).
 func (k *Kernel) maybePreempt() {
-	if k.quantum == 0 || k.current == nil || len(k.ready) == 0 {
+	if k.current == nil || k.ready.len() == 0 {
 		return
 	}
-	if k.cyc.Total()-k.dispatched < k.quantum {
+	if k.policy == Priority && k.ready.top() > k.level(k.current) {
+		k.preempt()
 		return
 	}
+	if k.quantum == 0 || k.cyc.Total()-k.dispatched < k.quantum {
+		return
+	}
+	k.preempt()
+}
+
+// preempt books one preemption — on the kernel and on the current
+// core's counters, where it reaches /metrics — and yields.
+func (k *Kernel) preempt() {
 	k.Preemptions++
+	k.mgr.Counters().Preemptions++
 	k.yieldCurrent()
 }
 
@@ -504,6 +716,10 @@ func (e *Env) Call(fn func(*Env), args ...uint32) {
 	e.k.mgr.Save()
 	fn(e)
 	e.k.mgr.Restore()
+	// The return edge is a safe point too: a quantum that expired
+	// inside the callee is honoured as soon as the caller's window is
+	// back, not deferred to the next unrelated safe point.
+	e.k.maybePreempt()
 }
 
 // Arg reads the i-th incoming argument (%i0..%i5) of the current
@@ -532,13 +748,19 @@ func (e *Env) Block() { e.k.blockCurrent() }
 
 // Join blocks until t has terminated (Done or Failed); it returns
 // immediately if t is already terminal. Joining the calling thread
-// itself panics.
+// itself panics. The joiner registers on t's joiner list exactly once:
+// a spurious wake re-blocks without re-registering (the registration
+// stays valid until t terminates and drains its list), so the list
+// cannot grow and no redundant Wake calls are issued.
 func (e *Env) Join(t *TCB) {
 	if t == e.tcb {
 		panic(fmt.Sprintf("sched: %s joining itself", t.name))
 	}
+	if t.state == Done || t.state == Failed {
+		return
+	}
+	t.joiners = append(t.joiners, e.tcb)
 	for t.state != Done && t.state != Failed {
-		t.joiners = append(t.joiners, e.tcb)
 		e.Block()
 	}
 }

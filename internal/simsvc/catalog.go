@@ -79,6 +79,31 @@ var catalog = []Experiment{
 		func(out *bytes.Buffer, sz harness.Sizes, _ []int) {
 			harness.RenderHWProjection(out, harness.RunHWProjection(sz, []int{8, 16, 32}))
 		}),
+	figureExperiment("t3threads", "T3 crossover: chain-pipeline execution time vs thread count (8..256) at a fixed window file",
+		func(sz harness.Sizes, windows []int, run harness.Runner) harness.Figure {
+			return harness.RunCrossoverThreadsWith(sz, t3FileSize(windows), harness.ThreadCounts, run)
+		}),
+	figureExperiment("t3migration", "T3 migration: chain-pipeline execution time vs migration cadence on 4 preemptive cores",
+		func(sz harness.Sizes, windows []int, run harness.Runner) harness.Figure {
+			return harness.RunCrossoverMigrationWith(sz, t3FileSize(windows), 64, harness.MigrationRates, run)
+		}),
+}
+
+// t3FileSize picks the window-file size of the T3 figures from the
+// job's window list: the largest requested file (the T3 sweeps vary
+// threads and migration, not windows). The default 4..32 list yields
+// the paper's largest file, 32 windows.
+func t3FileSize(windows []int) int {
+	size := 0
+	for _, n := range windows {
+		if n > size {
+			size = n
+		}
+	}
+	if size == 0 {
+		size = 32
+	}
+	return size
 }
 
 func renderAblations(out *bytes.Buffer, sz harness.Sizes, windows []int) {

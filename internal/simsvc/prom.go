@@ -110,6 +110,18 @@ func (p *Pool) WritePrometheus(w io.Writer) error {
 		pw.Sample("winsim_windows_transferred_total", obs.L("scheme", s, "cause", "overflow_trap"), float64(c.TrapSaves))
 		pw.Sample("winsim_windows_transferred_total", obs.L("scheme", s, "cause", "underflow_trap"), float64(c.TrapRestores))
 	}
+	pw.Header("winsim_migrations_total", "Cross-core thread migrations of T3 multi-core cells.", "counter")
+	for _, s := range schemes {
+		pw.Sample("winsim_migrations_total", obs.L("scheme", s), float64(sims[s].Counters.Migrations))
+	}
+	pw.Header("winsim_migration_saves_total", "Windows flushed by cross-core migrations.", "counter")
+	for _, s := range schemes {
+		pw.Sample("winsim_migration_saves_total", obs.L("scheme", s), float64(sims[s].Counters.MigrationSaves))
+	}
+	pw.Header("winsim_preemptions_total", "Involuntary thread preemptions (quantum expiry or priority arrival).", "counter")
+	for _, s := range schemes {
+		pw.Sample("winsim_preemptions_total", obs.L("scheme", s), float64(sims[s].Counters.Preemptions))
+	}
 	pw.Header("winsim_switch_cost_cycles", "Exact distribution of individual context-switch costs in cycles.", "histogram")
 	for _, s := range schemes {
 		d := sims[s].Counters.SwitchCost

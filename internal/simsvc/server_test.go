@@ -222,9 +222,9 @@ func TestServerExperimentsCatalog(t *testing.T) {
 		} `json:"experiments"`
 	}
 	getJSON(t, ts.URL+"/v1/experiments", &out)
-	// cell + the 12 catalog experiments.
-	if len(out.Experiments) != 13 {
-		t.Fatalf("got %d experiments, want 13", len(out.Experiments))
+	// cell + the 14 catalog experiments.
+	if len(out.Experiments) != 15 {
+		t.Fatalf("got %d experiments, want 15", len(out.Experiments))
 	}
 	if out.Experiments[0].Name != ExperimentCell {
 		t.Errorf("first entry = %q, want cell", out.Experiments[0].Name)

@@ -19,8 +19,16 @@ import (
 	"cyclicwin/internal/core"
 	"cyclicwin/internal/harness"
 	"cyclicwin/internal/obs"
+	"cyclicwin/internal/regwin"
 	"cyclicwin/internal/sched"
 	"cyclicwin/internal/stats"
+)
+
+// MaxThreads and MaxCores bound the T3 cell admission: far above any
+// experiment here, far below anything that could stall the service.
+const (
+	MaxThreads = 1024
+	MaxCores   = 64
 )
 
 // ExperimentCell is the experiment name of a single simulation cell —
@@ -72,6 +80,16 @@ type JobSpec struct {
 	// it). The hook only observes: traced and untraced runs produce
 	// identical simulation results.
 	Trace bool `json:"trace,omitempty"`
+
+	// T3-scale cell knobs (cells only; see harness.CellSpec). Threads >
+	// 0 selects the chain pipeline workload instead of the spell
+	// checker; Cores > 1 simulates that many window files with
+	// migration; Quantum arms preemptive time-slicing (also valid for
+	// spell cells); MigrateEvery forces a migration every n-th dispatch.
+	Threads      int    `json:"threads,omitempty"`
+	Cores        int    `json:"cores,omitempty"`
+	Quantum      uint64 `json:"quantum,omitempty"`
+	MigrateEvery int    `json:"migrate_every,omitempty"`
 }
 
 // Normalize returns the spec with every default spelled canonically:
@@ -98,12 +116,30 @@ func (s JobSpec) Normalize() JobSpec {
 			s.TrapTransfer = 0
 		}
 		s.WindowList = nil
+		if s.Threads > 0 {
+			// T3 chain cells ignore the spell-only knobs; fold them
+			// away so equivalent specs hash identically.
+			s.Behavior = ""
+			s.SearchAlloc, s.HWAssist, s.TrapTransfer = false, false, 0
+			s.MaxCycles = 0
+			s.Trace = false
+			if s.Cores == 1 {
+				s.Cores = 0 // one core is the plain kernel
+			}
+		} else {
+			// Multi-core and migration exist only for T3 cells.
+			s.Cores, s.MigrateEvery = 0, 0
+		}
+		if s.MigrateEvery > 0 && s.Cores == 0 {
+			s.MigrateEvery = 0 // nowhere to migrate on one core
+		}
 	} else {
 		// Cell-only fields cannot influence a named experiment.
 		s.Scheme, s.Windows, s.Policy, s.Behavior = "", 0, "", ""
 		s.SearchAlloc, s.HWAssist, s.TrapTransfer = false, false, 0
 		s.MaxCycles = 0
 		s.Trace = false
+		s.Threads, s.Cores, s.Quantum, s.MigrateEvery = 0, 0, 0, 0
 		if len(s.WindowList) == 0 {
 			s.WindowList = append([]int(nil), harness.WindowCounts...)
 		}
@@ -118,14 +154,25 @@ func (s JobSpec) Validate() error {
 		if _, ok := schemeByName(s.Scheme); !ok {
 			return fmt.Errorf("simsvc: unknown scheme %q (want NS, SNP or SP)", s.Scheme)
 		}
-		if s.Windows < 2 || s.Windows > 32 {
-			return fmt.Errorf("simsvc: windows %d out of range 2..32", s.Windows)
+		if s.Windows < 2 || s.Windows > regwin.MaxWindows {
+			return fmt.Errorf("simsvc: windows %d out of range 2..%d", s.Windows, regwin.MaxWindows)
 		}
 		if _, ok := policyByName(s.Policy); !ok {
-			return fmt.Errorf("simsvc: unknown policy %q (want FIFO or WS)", s.Policy)
+			return fmt.Errorf("simsvc: unknown policy %q (want FIFO, WS or PRIO)", s.Policy)
 		}
-		if _, ok := harness.BehaviorByName(s.Behavior); !ok {
-			return fmt.Errorf("simsvc: unknown behavior %q", s.Behavior)
+		if s.Threads == 0 {
+			if _, ok := harness.BehaviorByName(s.Behavior); !ok {
+				return fmt.Errorf("simsvc: unknown behavior %q", s.Behavior)
+			}
+		}
+		if s.Threads < 0 || s.Threads == 1 || s.Threads > MaxThreads {
+			return fmt.Errorf("simsvc: threads %d out of range 2..%d", s.Threads, MaxThreads)
+		}
+		if s.Cores < 0 || s.Cores > MaxCores {
+			return fmt.Errorf("simsvc: cores %d out of range 0..%d", s.Cores, MaxCores)
+		}
+		if s.MigrateEvery < 0 {
+			return fmt.Errorf("simsvc: negative migrate_every %d", s.MigrateEvery)
 		}
 		if s.TrapTransfer < 0 || s.TrapTransfer > 32 {
 			return fmt.Errorf("simsvc: trap_transfer %d out of range 0..32", s.TrapTransfer)
@@ -136,8 +183,8 @@ func (s JobSpec) Validate() error {
 		return fmt.Errorf("simsvc: unknown experiment %q", s.Experiment)
 	}
 	for _, n := range s.WindowList {
-		if n < 2 || n > 32 {
-			return fmt.Errorf("simsvc: window count %d out of range 2..32", n)
+		if n < 2 || n > regwin.MaxWindows {
+			return fmt.Errorf("simsvc: window count %d out of range 2..%d", n, regwin.MaxWindows)
 		}
 	}
 	if s.Draft < 0 || s.Dict < 0 {
@@ -153,12 +200,14 @@ func (s JobSpec) Validate() error {
 func (s JobSpec) Hash() string {
 	n := s.Normalize()
 	h := sha256.New()
-	// v3: cell results gained the switch-cost distribution and per-job
-	// counters, and Trace joined the spec — the version bump makes
-	// every pre-v3 cache entry unreachable rather than shaped wrong.
-	fmt.Fprintf(h, "simsvc-spec-v3|exp=%s|scheme=%s|windows=%d|policy=%s|behavior=%s|draft=%d|dict=%d|wl=%v|search=%t|hw=%t|tt=%d|mc=%d|trace=%t",
+	// v4: the T3-scale cell fields (threads/cores/quantum/migration)
+	// joined the spec and cell results gained the migration and
+	// preemption counters — the version bump makes every pre-v4 cache
+	// entry unreachable rather than shaped wrong.
+	fmt.Fprintf(h, "simsvc-spec-v4|exp=%s|scheme=%s|windows=%d|policy=%s|behavior=%s|draft=%d|dict=%d|wl=%v|search=%t|hw=%t|tt=%d|mc=%d|trace=%t|threads=%d|cores=%d|quantum=%d|migrate=%d",
 		n.Experiment, n.Scheme, n.Windows, n.Policy, n.Behavior,
-		n.Draft, n.Dict, n.WindowList, n.SearchAlloc, n.HWAssist, n.TrapTransfer, n.MaxCycles, n.Trace)
+		n.Draft, n.Dict, n.WindowList, n.SearchAlloc, n.HWAssist, n.TrapTransfer, n.MaxCycles, n.Trace,
+		n.Threads, n.Cores, n.Quantum, n.MigrateEvery)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -183,7 +232,10 @@ func (s JobSpec) EstimateCost() uint64 {
 	if text == 0 {
 		text = 1
 	}
-	const threads = 7
+	threads := uint64(7) // the spell workload always schedules 7
+	if n.Threads > 0 {
+		threads = uint64(n.Threads)
+	}
 	if n.Experiment == ExperimentCell {
 		return threads * uint64(n.Windows) * text
 	}
@@ -208,11 +260,10 @@ func schemeByName(name string) (core.Scheme, bool) {
 }
 
 func policyByName(name string) (sched.Policy, bool) {
-	switch name {
-	case sched.FIFO.String():
-		return sched.FIFO, true
-	case sched.WorkingSet.String():
-		return sched.WorkingSet, true
+	for _, p := range sched.Policies {
+		if p.String() == name {
+			return p, true
+		}
 	}
 	return 0, false
 }
@@ -220,13 +271,17 @@ func policyByName(name string) (sched.Policy, bool) {
 // CellSpec converts a harness sweep cell into its canonical job spec.
 func CellSpec(c harness.CellSpec) JobSpec {
 	return JobSpec{
-		Experiment: ExperimentCell,
-		Scheme:     c.Scheme.String(),
-		Windows:    c.Windows,
-		Policy:     c.Policy.String(),
-		Behavior:   c.Behavior.Name,
-		Draft:      c.Sizes.Draft,
-		Dict:       c.Sizes.Dict,
+		Experiment:   ExperimentCell,
+		Scheme:       c.Scheme.String(),
+		Windows:      c.Windows,
+		Policy:       c.Policy.String(),
+		Behavior:     c.Behavior.Name,
+		Draft:        c.Sizes.Draft,
+		Dict:         c.Sizes.Dict,
+		Threads:      c.Threads,
+		Cores:        c.Cores,
+		Quantum:      c.Quantum,
+		MigrateEvery: c.MigrateEvery,
 	}.Normalize()
 }
 
@@ -250,6 +305,9 @@ type CellResult struct {
 	UnderflowTraps       uint64 `json:"underflow_traps"`
 	TrapSaves            uint64 `json:"trap_saves"`
 	TrapRestores         uint64 `json:"trap_restores"`
+	Migrations           uint64 `json:"migrations,omitempty"`
+	MigrationSaves       uint64 `json:"migration_saves,omitempty"`
+	Preemptions          uint64 `json:"preemptions,omitempty"`
 
 	SwitchCost stats.Distribution `json:"switch_cost"`
 
@@ -274,6 +332,9 @@ func CellResultOf(r harness.Result) *CellResult {
 		UnderflowTraps:       c.UnderflowTraps,
 		TrapSaves:            c.TrapSaves,
 		TrapRestores:         c.TrapRestores,
+		Migrations:           c.Migrations,
+		MigrationSaves:       c.MigrationSaves,
+		Preemptions:          c.Preemptions,
 		SwitchCost:           c.SwitchCost.Clone(),
 		ThreadSuspensions:    r.ThreadSuspensions,
 		Misspelled:           r.Misspelled,
@@ -294,6 +355,9 @@ func (cr *CellResult) counters() stats.Counters {
 		UnderflowTraps:       cr.UnderflowTraps,
 		TrapSaves:            cr.TrapSaves,
 		TrapRestores:         cr.TrapRestores,
+		Migrations:           cr.Migrations,
+		MigrationSaves:       cr.MigrationSaves,
+		Preemptions:          cr.Preemptions,
 		SwitchCost:           cr.SwitchCost.Clone(),
 	}
 }
@@ -350,6 +414,15 @@ func runCell(s JobSpec) (*CellResult, *obs.JobTrace, error) {
 	}
 	scheme, _ := schemeByName(s.Scheme)
 	policy, _ := policyByName(s.Policy)
+	if s.Threads > 0 {
+		// T3 chain cell: the pipeline workload through harness.RunT3.
+		r := harness.RunT3(harness.CellSpec{
+			Scheme: scheme, Windows: s.Windows, Policy: policy, Sizes: s.Sizes(),
+			Threads: s.Threads, Cores: s.Cores,
+			Quantum: s.Quantum, MigrateEvery: s.MigrateEvery,
+		})
+		return CellResultOf(r), nil, nil
+	}
 	b, _ := harness.BehaviorByName(s.Behavior)
 	cfg := core.Config{
 		Windows:      s.Windows,
@@ -359,7 +432,7 @@ func runCell(s JobSpec) (*CellResult, *obs.JobTrace, error) {
 	}
 	opts := harness.SpellOpts{
 		Config: cfg, Scheme: scheme, Policy: policy, Behavior: b, Sizes: s.Sizes(),
-		MaxCycles: s.MaxCycles,
+		MaxCycles: s.MaxCycles, Quantum: s.Quantum,
 	}
 	var tr *obs.Tracer
 	if s.Trace {

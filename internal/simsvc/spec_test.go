@@ -104,7 +104,10 @@ func TestValidate(t *testing.T) {
 		{Experiment: "nope"},
 		{Experiment: ExperimentCell, Scheme: "XX", Windows: 8, Behavior: "high-fine"},
 		{Experiment: ExperimentCell, Scheme: "SP", Windows: 1, Behavior: "high-fine"},
-		{Experiment: ExperimentCell, Scheme: "SP", Windows: 64, Behavior: "high-fine"},
+		{Experiment: ExperimentCell, Scheme: "SP", Windows: 300, Behavior: "high-fine"},
+		{Experiment: ExperimentCell, Scheme: "SP", Windows: 8, Behavior: "high-fine", Threads: 1},
+		{Experiment: ExperimentCell, Scheme: "SP", Windows: 8, Threads: 4, Cores: -1},
+		{Experiment: ExperimentCell, Scheme: "SP", Windows: 8, Threads: 2048},
 		{Experiment: ExperimentCell, Scheme: "SP", Windows: 8, Behavior: "high-fine", Policy: "LIFO"},
 		{Experiment: ExperimentCell, Scheme: "SP", Windows: 8, Behavior: "medium-rare"},
 		{Experiment: "fig11", WindowList: []int{1}},
@@ -151,7 +154,7 @@ func TestCellRoundTrip(t *testing.T) {
 // both rely on.
 func TestExperimentCatalog(t *testing.T) {
 	want := []string{"table1", "table2", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"ablation", "activity", "tail", "transfer", "hw"}
+		"ablation", "activity", "tail", "transfer", "hw", "t3threads", "t3migration"}
 	names := ExperimentNames()
 	if len(names) != len(want) {
 		t.Fatalf("catalog has %d entries, want %d", len(names), len(want))
@@ -168,12 +171,73 @@ func TestExperimentCatalog(t *testing.T) {
 		if e.Description == "" {
 			t.Errorf("%s has no description", n)
 		}
-		wantFigure := n == "fig11" || n == "fig12" || n == "fig13" || n == "fig14" || n == "fig15"
+		wantFigure := n == "fig11" || n == "fig12" || n == "fig13" || n == "fig14" || n == "fig15" ||
+			n == "t3threads" || n == "t3migration"
 		if e.Figure != wantFigure {
 			t.Errorf("%s Figure = %v, want %v", n, e.Figure, wantFigure)
 		}
 	}
 	if _, ok := LookupExperiment("nope"); ok {
 		t.Error("LookupExperiment accepted an unknown name")
+	}
+}
+
+// TestT3CellRoundTrip pins that a T3 chain cell converts to a spec,
+// validates, runs through the service path and comes back with the
+// migration/preemption counters intact.
+func TestT3CellRoundTrip(t *testing.T) {
+	cell := harness.CellSpec{
+		Scheme:  core.SchemeSP,
+		Windows: 33,
+		Sizes:   harness.Sizes{Draft: 400, Dict: 1001},
+		Threads: 16, Cores: 2, Quantum: 60, MigrateEvery: 2,
+	}
+	spec := CellSpec(cell)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("converted T3 cell does not validate: %v", err)
+	}
+	want := cell.Run()
+	cr, _, err := runCell(spec)
+	if err != nil {
+		t.Fatalf("runCell: %v", err)
+	}
+	got := cr.HarnessResult(spec)
+	if got.Cycles != want.Cycles || got.Misspelled != want.Misspelled ||
+		got.Counters.Migrations != want.Counters.Migrations ||
+		got.Counters.MigrationSaves != want.Counters.MigrationSaves ||
+		got.Counters.Preemptions != want.Counters.Preemptions {
+		t.Fatalf("T3 round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if want.Counters.Migrations == 0 {
+		t.Error("T3 cell migrated nothing at MigrateEvery=2")
+	}
+}
+
+// TestT3SpecNormalization pins the canonical folds of the T3 fields:
+// one core is the plain kernel, migration needs somewhere to go, and
+// spell-only knobs cannot leak into a chain cell's hash.
+func TestT3SpecNormalization(t *testing.T) {
+	base := JobSpec{Experiment: ExperimentCell, Scheme: "SNP", Windows: 64, Threads: 32}
+	oneCore := base
+	oneCore.Cores = 1
+	if base.Hash() != oneCore.Hash() {
+		t.Error("cores=0 and cores=1 hash differently")
+	}
+	migNowhere := base
+	migNowhere.MigrateEvery = 4
+	if base.Hash() != migNowhere.Hash() {
+		t.Error("single-core migrate_every not folded away")
+	}
+	spellKnobs := base
+	spellKnobs.Behavior = "high-fine"
+	spellKnobs.Trace = true
+	spellKnobs.MaxCycles = 1 << 40
+	if base.Hash() != spellKnobs.Hash() {
+		t.Error("spell-only knobs leak into a T3 cell hash")
+	}
+	multi := base
+	multi.Cores = 2
+	if base.Hash() == multi.Hash() {
+		t.Error("core count not hashed")
 	}
 }

@@ -33,6 +33,16 @@ type Counters struct {
 	TrapSaves    uint64
 	TrapRestores uint64
 
+	// Migrations counts forced evictions that moved a thread to another
+	// core's window file; MigrationSaves the windows flushed by them.
+	// Zero on single-core configurations.
+	Migrations     uint64
+	MigrationSaves uint64
+	// Preemptions counts quantum-expiry and priority preemptions the
+	// scheduler imposed on threads running on this core. Zero under the
+	// paper's non-preemptive policies.
+	Preemptions uint64
+
 	// SwitchCost is the exact distribution of individual context-switch
 	// costs; its Max is the worst case the paper calls "terrible ... an
 	// undesirable characteristic in hard real time systems" for NS.
@@ -101,6 +111,9 @@ func (c *Counters) Add(o *Counters) {
 	c.UnderflowTraps += o.UnderflowTraps
 	c.TrapSaves += o.TrapSaves
 	c.TrapRestores += o.TrapRestores
+	c.Migrations += o.Migrations
+	c.MigrationSaves += o.MigrationSaves
+	c.Preemptions += o.Preemptions
 	c.SwitchCost.Merge(&o.SwitchCost)
 	c.Interp.Add(&o.Interp)
 }

@@ -32,6 +32,7 @@ const (
 	KindOverflow  // a save that took an overflow trap
 	KindUnderflow // a restore that took an underflow trap
 	KindExit
+	KindMigrate // a forced eviction moving a thread to another core
 )
 
 // String names the kind.
@@ -51,6 +52,8 @@ func (k Kind) String() string {
 		return "restore/UNF"
 	case KindExit:
 		return "exit"
+	case KindMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -64,7 +67,7 @@ type Event struct {
 	Cost   uint64 // cycles charged by the event
 	Moved  uint64 // windows transferred by the event
 	CWP    int
-	WIM    uint32
+	WIM    regwin.Mask
 }
 
 // Manager wraps a core.Manager, recording events into a bounded ring.
@@ -234,7 +237,7 @@ func (t *Manager) WindowMap(ev Event) string {
 		switch {
 		case w == ev.CWP:
 			sb.WriteByte('*')
-		case ev.WIM&(1<<uint(w)) != 0:
+		case ev.WIM.Bit(w):
 			sb.WriteByte('.')
 		default:
 			sb.WriteByte('o')
@@ -262,7 +265,7 @@ func (t *Manager) Summarise(w io.Writer) {
 		counts[ev.Kind]++
 		costs[ev.Kind] += ev.Cost
 	}
-	for k := KindSwitch; k <= KindExit; k++ {
+	for k := KindSwitch; k <= KindMigrate; k++ {
 		if counts[k] > 0 {
 			fmt.Fprintf(w, "%-12s %8d events %12d cycles\n", k, counts[k], costs[k])
 		}

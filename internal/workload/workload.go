@@ -125,6 +125,82 @@ func ForkJoinExpected(depth, work int) uint32 {
 	return leaves*(leaves-1)/2 + leaves*uint32(work)
 }
 
+// Chain builds a pipeline of n threads connected by 4-byte streams: a
+// source emits items bytes, every interior stage transforms each byte
+// through a real call chain of the given depth (adding one at the
+// bottom), and a sink accumulates a checksum. With n in the hundreds
+// this is the T3-scale stress: many more threads than windows, every
+// item forcing a suspend/dispatch per hop. The returned function
+// reports the sink checksum after the kernel has run; compare it
+// against ChainExpected.
+func Chain(k *sched.Kernel, n, depth, items int) (result func() uint32) {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: chain of %d threads", n))
+	}
+	links := make([]*stream.Stream, n-1)
+	for i := range links {
+		s, err := stream.New(k, fmt.Sprintf("hop%d", i), 4)
+		if err != nil {
+			panic(err) // capacity is the constant 4; unreachable
+		}
+		links[i] = s
+	}
+	k.Spawn("source", func(e *sched.Env) {
+		for i := 0; i < items; i++ {
+			links[0].Put(e, byte(i%251))
+		}
+		links[0].Close(e)
+	})
+	// transform adds one to its argument through a call chain of the
+	// requested depth, so every item charges depth windows per hop.
+	var transform func(e *sched.Env)
+	transform = func(e *sched.Env) {
+		if d := e.Arg(1); d > 0 {
+			e.Call(transform, e.Arg(0), d-1)
+			e.SetRet(e.Ret())
+			return
+		}
+		e.SetRet(e.Arg(0) + 1)
+	}
+	for i := 1; i < n-1; i++ {
+		in, out := links[i-1], links[i]
+		k.Spawn(fmt.Sprintf("stage%d", i), func(e *sched.Env) {
+			for {
+				b, ok := in.Get(e)
+				if !ok {
+					out.Close(e)
+					return
+				}
+				e.Call(transform, uint32(b), uint32(depth))
+				out.Put(e, byte(e.Ret()))
+			}
+		})
+	}
+	var sum uint32
+	k.Spawn("sink", func(e *sched.Env) {
+		for {
+			b, ok := links[n-2].Get(e)
+			if !ok {
+				return
+			}
+			sum = sum*31 + uint32(b)
+		}
+	})
+	return func() uint32 { return sum }
+}
+
+// ChainExpected computes the checksum Chain must produce for the given
+// shape: each of the items bytes passes through n-2 transforming
+// stages, each adding one (mod 256).
+func ChainExpected(n, depth, items int) uint32 {
+	_ = depth // depth shapes cost, not the result
+	var sum uint32
+	for i := 0; i < items; i++ {
+		sum = sum*31 + uint32(byte(i%251+n-2))
+	}
+	return sum
+}
+
 // SyntheticConfig controls the pure Section 5 workload.
 type SyntheticConfig struct {
 	Threads int // concurrency

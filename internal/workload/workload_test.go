@@ -186,3 +186,42 @@ func TestWorkloadSaveCountsSchemeIndependent(t *testing.T) {
 		}
 	}
 }
+
+// TestChainCorrectAllSchemes pins the pipeline checksum across schemes,
+// window counts and chain lengths up to T3 scale, including files far
+// smaller than the thread count.
+func TestChainCorrectAllSchemes(t *testing.T) {
+	for _, s := range core.Schemes {
+		for _, windows := range []int{4, 8, 33} {
+			for _, n := range []int{2, 3, 16, 64} {
+				t.Run(fmt.Sprintf("%v/w%d/n%d", s, windows, n), func(t *testing.T) {
+					k := kernel(s, windows)
+					result := Chain(k, n, 3, 50)
+					if err := k.Run(); err != nil {
+						t.Fatal(err)
+					}
+					if got, want := result(), ChainExpected(n, 3, 50); got != want {
+						t.Errorf("checksum = %#x, want %#x", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChainPolicyIndependent pins that the checksum is scheduling
+// independent: FIFO, WorkingSet and Priority (with a quantum) agree.
+func TestChainPolicyIndependent(t *testing.T) {
+	want := ChainExpected(24, 4, 80)
+	for _, p := range sched.Policies {
+		k := sched.NewKernel(core.New(core.SchemeSNP, core.Config{Windows: 8}), p)
+		k.SetQuantum(200)
+		result := Chain(k, 24, 4, 80)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := result(); got != want {
+			t.Errorf("%v: checksum = %#x, want %#x", p, got, want)
+		}
+	}
+}
